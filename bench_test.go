@@ -1,0 +1,141 @@
+package veritas
+
+// One benchmark per paper figure: each bench regenerates the figure's
+// table at QuickScale (same code path as the paper-scale run in
+// cmd/experiments) and reports wall time per regeneration. Run with
+//
+//	go test -bench=. -benchmem
+//
+// plus micro-benchmarks for the pipeline's hot pieces (the EHMM
+// inference, a full session simulation, and a full abduction).
+
+import (
+	"fmt"
+	"testing"
+
+	"veritas/internal/abduction"
+	"veritas/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	s := experiments.QuickScale()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Run(id, s)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2a(b *testing.B) { benchFigure(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B) { benchFigure(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B) { benchFigure(b, "fig2c") }
+func BenchmarkFig5(b *testing.B)  { benchFigure(b, "fig5") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchFigure(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkAblationTCPState(b *testing.B) { benchFigure(b, "abl-tcpstate") }
+func BenchmarkAblationPrior(b *testing.B)    { benchFigure(b, "abl-prior") }
+func BenchmarkAblationSigma(b *testing.B)    { benchFigure(b, "abl-sigma") }
+func BenchmarkAblationEM(b *testing.B)       { benchFigure(b, "abl-em") }
+
+// BenchmarkSession measures one full 300-chunk MPC session simulation.
+func BenchmarkSession(b *testing.B) {
+	gt, err := GenerateTrace(DefaultTraceConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := DefaultVideo(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSession(SessionConfig{Trace: gt, ABR: NewMPC(), Video: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbduction measures the full inversion of a 300-chunk log:
+// Viterbi + forward-backward + 5 posterior samples.
+func BenchmarkAbduction(b *testing.B) {
+	gt, err := GenerateTrace(DefaultTraceConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := RunSession(SessionConfig{Trace: gt, ABR: NewMPC()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Abduct(sess.Log, AbductionConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounterfactualReplay measures one what-if replay (a full
+// session over an inferred trace).
+func BenchmarkCounterfactualReplay(b *testing.B) {
+	gt, err := GenerateTrace(DefaultTraceConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := RunSession(SessionConfig{Trace: gt, ABR: NewMPC()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	abd, err := Abduct(sess.Log, AbductionConfig{NumSamples: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := WhatIf{NewABR: NewBBA}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Counterfactual(abd, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbductionScaling reports abduction cost as session length
+// grows, exercising the O(N·S²) forward-backward recursion.
+func BenchmarkAbductionScaling(b *testing.B) {
+	gt, err := GenerateTrace(DefaultTraceConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := RunSession(SessionConfig{Trace: gt, ABR: NewMPC()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{50, 100, 200, 300} {
+		b.Run(fmt.Sprintf("chunks=%d", n), func(b *testing.B) {
+			prefix := sess.Log.Prefix(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := abduction.Abduct(prefix, abduction.Config{NumSamples: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtSquareWave covers the square-wave extension experiment.
+func BenchmarkExtSquareWave(b *testing.B) { benchFigure(b, "ext-square") }

@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run fig9              # one figure at paper scale
+//	experiments -run all -scale quick  # everything, reduced scale
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"veritas/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id (fig2a, fig5, fig7, ... or 'all')")
+		scale  = flag.String("scale", "paper", "'paper' (full size) or 'quick'")
+		format = flag.String("format", "text", "output format: text, csv or json")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "paper":
+		s = experiments.PaperScale()
+	case "quick":
+		s = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want 'paper' or 'quick')\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := table.RenderAs(os.Stdout, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "render %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "text" {
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

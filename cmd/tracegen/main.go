@@ -1,0 +1,91 @@
+// Command tracegen generates synthetic FCC-like bandwidth traces in the
+// textual "<time> <mbps>" format consumed by the other tools.
+//
+// Usage:
+//
+//	tracegen -n 100 -out traces/           # one file per trace
+//	tracegen -seed 7 > trace.txt           # single trace to stdout
+//	tracegen -min 0.5 -max 10 -horizon 900 # custom regime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"veritas/internal/trace"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1, "number of traces to generate")
+		out     = flag.String("out", "", "output directory (default: single trace to stdout)")
+		seed    = flag.Int64("seed", 1, "base seed; trace i uses seed+i")
+		min     = flag.Float64("min", 3, "minimum bandwidth (Mbps)")
+		max     = flag.Float64("max", 8, "maximum bandwidth (Mbps)")
+		horizon = flag.Float64("horizon", 720, "trace length (seconds)")
+		step    = flag.Float64("step", 0.4, "max per-interval drift (Mbps)")
+		jump    = flag.Float64("jump", 0.02, "regime-jump probability per interval")
+		ival    = flag.Float64("interval", 5, "seconds per bandwidth step")
+		format  = flag.String("format", "text", "output format: text or mahimahi (mm-link packet schedule)")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "mahimahi" {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	cfg := trace.GenConfig{
+		MinMbps: *min, MaxMbps: *max, Interval: *ival,
+		Horizon: *horizon, StepMbps: *step, JumpProb: *jump, Seed: *seed,
+	}
+	traces, err := trace.GenerateSet(cfg, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	if *out == "" {
+		if *n != 1 {
+			fmt.Fprintln(os.Stderr, "tracegen: -n > 1 requires -out")
+			os.Exit(2)
+		}
+		if err := encodeTrace(os.Stdout, traces[0], *format, *horizon); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	for i, tr := range traces {
+		path := filepath.Join(*out, fmt.Sprintf("trace_%04d.txt", i))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := encodeTrace(f, tr, *format, *horizon); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d traces to %s\n", len(traces), *out)
+}
+
+// encodeTrace writes a trace in the chosen format.
+func encodeTrace(w io.Writer, tr *trace.Trace, format string, horizon float64) error {
+	if format == "mahimahi" {
+		return tr.EncodeMahimahi(w, horizon)
+	}
+	return tr.Encode(w)
+}

@@ -1,0 +1,45 @@
+// Package veritas is a from-scratch Go reproduction of "Veritas:
+// Answering Causal Queries from Video Streaming Traces" (SIGCOMM 2023).
+//
+// Veritas answers what-if questions about adaptive-bitrate video
+// sessions from passively collected logs. The central difficulty is
+// that the network's ground-truth bandwidth (GTBW) is a latent,
+// confounding time series: the deployed ABR algorithm reacts to it, so
+// observed throughput both under-reports it and correlates with the
+// algorithm's own decisions. Veritas inverts the observations back into
+// a posterior over GTBW trajectories using an Embedded Hidden Markov
+// Model whose emissions wrap a domain-specific TCP throughput estimator
+// conditioned on the TCP state logged at each chunk start.
+//
+// The package exposes the full pipeline:
+//
+//   - Abduct turns a session log into K posterior GTBW traces.
+//   - Counterfactual replays a changed design (different ABR, buffer
+//     size, or quality ladder) over those traces and reports the range
+//     of outcomes.
+//   - PredictDownloadTime answers interventional queries about
+//     hypothetical next chunks.
+//   - Baseline and Oracle provide the comparison estimators the paper
+//     evaluates against.
+//
+// Everything the pipeline needs is included: a bandwidth-trace
+// substrate with an FCC-like generator, a TCP/network emulator standing
+// in for the paper's Mahimahi testbed, a synthetic VBR video, a player,
+// and the MPC/BBA/BOLA ABR algorithms. The internal/experiments package
+// regenerates every figure of the paper's evaluation; see EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	gt, _ := veritas.GenerateTrace(veritas.DefaultTraceConfig(1))
+//	sess, _ := veritas.RunSession(veritas.SessionConfig{
+//		Trace: gt, ABR: veritas.NewMPC(), BufferCap: 5,
+//	})
+//	abd, _ := veritas.Abduct(sess.Log, veritas.AbductionConfig{})
+//	outcome, _ := veritas.Counterfactual(abd, veritas.WhatIf{
+//		ABR:       veritas.NewBBA,
+//		BufferCap: 5,
+//	})
+//	fmt.Println(outcome.SSIMRange())
+//
+// All randomness is seeded and every run is reproducible.
+package veritas

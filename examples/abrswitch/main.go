@@ -1,0 +1,74 @@
+// ABR switch: the paper's Figure 8/9 scenario over a trace set.
+//
+// A publisher has been running MPC and wants to know, from logs alone,
+// what switching to BBA (or BOLA) would do to SSIM and rebuffering. We
+// run the deployed system over many traces, answer the counterfactual
+// with Baseline and Veritas, and compare both against the oracle.
+//
+//	go run ./examples/abrswitch
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"veritas"
+)
+
+const numTraces = 10
+
+func main() {
+	for _, alt := range []struct {
+		name   string
+		newABR func() veritas.ABR
+	}{
+		{"BBA", veritas.NewBBA},
+		{"BOLA", veritas.NewBOLA},
+	} {
+		fmt.Printf("=== what if MPC were replaced by %s? (%d traces) ===\n", alt.name, numTraces)
+		var truthReb, baseReb, vLoReb, vHiReb []float64
+		for i := 0; i < numTraces; i++ {
+			gt, err := veritas.GenerateTrace(veritas.DefaultTraceConfig(int64(100 + i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sess, err := veritas.RunSession(veritas.SessionConfig{
+				Trace: gt, ABR: veritas.NewMPC(), MaxChunks: 150,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			abd, err := veritas.Abduct(sess.Log, veritas.AbductionConfig{Seed: int64(i + 1)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			w := veritas.WhatIf{NewABR: alt.newABR}
+			outcome, err := veritas.Counterfactual(abd, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			truth, err := veritas.Oracle(gt, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lo, hi := outcome.RebufRange()
+			truthReb = append(truthReb, truth.RebufRatio*100)
+			baseReb = append(baseReb, outcome.Baseline.RebufRatio*100)
+			vLoReb = append(vLoReb, lo*100)
+			vHiReb = append(vHiReb, hi*100)
+		}
+		fmt.Printf("median rebuffering %%: oracle %.2f | baseline %.2f | veritas %.2f-%.2f\n\n",
+			median(truthReb), median(baseReb), median(vLoReb), median(vHiReb))
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

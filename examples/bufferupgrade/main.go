@@ -1,0 +1,59 @@
+// Buffer upgrade: the paper's Figure 10 scenario.
+//
+// The deployed player buffers only 5 seconds of video (low latency).
+// Product wants to know what a 30-second buffer would buy. We answer
+// from logs with Veritas and show how the Baseline's conservative
+// bandwidth estimate distorts the answer.
+//
+//	go run ./examples/bufferupgrade
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veritas"
+)
+
+func main() {
+	gt, err := veritas.GenerateTrace(veritas.DefaultTraceConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := veritas.RunSession(veritas.SessionConfig{
+		Trace: gt,
+		ABR:   veritas.NewMPC(),
+		// Deployed setting: 5 s buffer.
+		BufferCap: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed (5 s buffer):  SSIM %.4f  bitrate %.2f Mbps\n",
+		sess.Metrics.AvgSSIM, sess.Metrics.AvgBitrateMbps)
+
+	abd, err := veritas.Abduct(sess.Log, veritas.AbductionConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, buf := range []float64{10, 30} {
+		w := veritas.WhatIf{NewABR: veritas.NewMPC, BufferCap: buf}
+		outcome, err := veritas.Counterfactual(abd, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := veritas.Oracle(gt, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ssimLo, ssimHi := outcome.SSIMRange()
+		brLo, brHi := outcome.BitrateRange()
+		fmt.Printf("\nwhat-if buffer = %2.0f s:\n", buf)
+		fmt.Printf("  oracle:   SSIM %.4f  bitrate %.2f Mbps\n", truth.AvgSSIM, truth.AvgBitrateMbps)
+		fmt.Printf("  baseline: SSIM %.4f  bitrate %.2f Mbps\n",
+			outcome.Baseline.AvgSSIM, outcome.Baseline.AvgBitrateMbps)
+		fmt.Printf("  veritas:  SSIM %.4f-%.4f  bitrate %.2f-%.2f Mbps\n",
+			ssimLo, ssimHi, brLo, brHi)
+	}
+}

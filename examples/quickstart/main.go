@@ -1,0 +1,68 @@
+// Quickstart: the full Veritas pipeline in one page.
+//
+// We stream a video over a synthetic network with the MPC algorithm
+// (the "deployed system"), keep only the logs a real deployment would
+// have, abduce the latent ground-truth bandwidth, and ask a what-if
+// question: how would the session have gone with BBA instead? Because
+// this is a simulation we also replay the oracle (the true bandwidth)
+// to show how close Veritas gets.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veritas"
+)
+
+func main() {
+	// 1. The world: a 3-8 Mbps FCC-like bandwidth trace. In a real
+	// deployment this is the unobserved ground truth.
+	gt, err := veritas.GenerateTrace(veritas.DefaultTraceConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The deployed system: MPC with a 5 s buffer. The log records
+	// chunk sizes, download times and TCP state — nothing else.
+	sess, err := veritas.RunSession(veritas.SessionConfig{
+		Trace: gt,
+		ABR:   veritas.NewMPC(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed (MPC):    SSIM %.4f  rebuf %5.2f%%  bitrate %.2f Mbps\n",
+		sess.Metrics.AvgSSIM, sess.Metrics.RebufRatio*100, sess.Metrics.AvgBitrateMbps)
+
+	// 3. Abduction: invert the log into posterior samples of the latent
+	// bandwidth.
+	abd, err := veritas.Abduct(sess.Log, veritas.AbductionConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The what-if question: what if BBA had been deployed instead?
+	whatIf := veritas.WhatIf{NewABR: veritas.NewBBA}
+	outcome, err := veritas.Counterfactual(abd, whatIf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssimLo, ssimHi := outcome.SSIMRange()
+	rebLo, rebHi := outcome.RebufRange()
+
+	// 5. The oracle: only possible in simulation, for reference.
+	truth, err := veritas.Oracle(gt, whatIf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("what-if (BBA):\n")
+	fmt.Printf("  oracle:          SSIM %.4f  rebuf %5.2f%%\n", truth.AvgSSIM, truth.RebufRatio*100)
+	fmt.Printf("  baseline:        SSIM %.4f  rebuf %5.2f%%\n",
+		outcome.Baseline.AvgSSIM, outcome.Baseline.RebufRatio*100)
+	fmt.Printf("  veritas range:   SSIM %.4f-%.4f  rebuf %5.2f%%-%.2f%%\n",
+		ssimLo, ssimHi, rebLo*100, rebHi*100)
+}

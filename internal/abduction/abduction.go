@@ -1,0 +1,269 @@
+// Package abduction implements the Veritas framework proper (paper §3.2,
+// §3.3): turning a session log into a posterior over latent ground-truth
+// bandwidth (GTBW) traces, and using those traces to answer causal
+// queries.
+//
+// The pipeline is: SessionLog → Observations (throughput, TCP state,
+// size, start interval per chunk) → EHMM inference (Viterbi +
+// forward–backward) → K posterior trace samples → counterfactual replay
+// in the changed setting, or interventional download-time prediction.
+package abduction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"veritas/internal/hmm"
+	"veritas/internal/player"
+	"veritas/internal/tcp"
+	"veritas/internal/trace"
+)
+
+// Config parameterizes abduction. Zero values take the paper's defaults.
+type Config struct {
+	// HMM configures the EHMM; if HMM.MaxMbps is zero the grid is sized
+	// from the largest observed throughput (with headroom, since GTBW
+	// is at least the observed throughput).
+	HMM hmm.Config
+	// NumSamples is K, the number of posterior traces (paper: 5).
+	NumSamples int
+	// Seed makes sampling deterministic.
+	Seed int64
+	// IgnoreTCPState ablates the paper's control variables: every
+	// chunk's logged TCP state is replaced by a warm steady-state
+	// connection, so the emission model no longer knows about slow-start
+	// restart. Used by the ablation experiments to demonstrate why
+	// conditioning on W_sn matters (paper §3.2's d-separation argument).
+	IgnoreTCPState bool
+	// FitTransitions, when positive, runs that many Baum–Welch EM
+	// iterations on the interval chain to learn the transition matrix
+	// from this session before inference (an extension beyond the
+	// paper's fixed tridiagonal prior).
+	FitTransitions int
+}
+
+func (c Config) withDefaults(maxObservedMbps float64) Config {
+	if c.HMM.MaxMbps == 0 {
+		// Headroom: the latent GTBW can exceed every observation when
+		// all chunks were below the BDP. 1.5× the max observation,
+		// floored at 10 Mbps, covers the paper's regimes.
+		max := maxObservedMbps * 1.5
+		if max < 10 {
+			max = 10
+		}
+		c.HMM = hmm.DefaultConfig(max)
+	}
+	if c.NumSamples == 0 {
+		c.NumSamples = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Abduction is the result of inverting a session log: the fitted model,
+// the observation sequence, the Viterbi path, the posterior, and K
+// sampled GTBW traces.
+type Abduction struct {
+	Model        *hmm.Model
+	Observations []hmm.Observation
+	ViterbiPath  []int
+	Posterior    *hmm.Posterior
+	SampledPaths [][]int
+
+	log *player.SessionLog
+	cfg Config
+}
+
+// Observations converts a session log into the EHMM's evidence sequence.
+// deltaSecs is the GTBW interval length δ.
+func Observations(log *player.SessionLog, deltaSecs float64) ([]hmm.Observation, error) {
+	if log == nil || len(log.Records) == 0 {
+		return nil, errors.New("abduction: empty session log")
+	}
+	if deltaSecs <= 0 {
+		return nil, fmt.Errorf("abduction: delta %v <= 0", deltaSecs)
+	}
+	obs := make([]hmm.Observation, len(log.Records))
+	for i, r := range log.Records {
+		obs[i] = hmm.Observation{
+			ThroughputMbps: r.ThroughputMbps,
+			TCP:            r.TCP,
+			SizeBytes:      r.SizeBytes,
+			StartInterval:  int(r.Start / deltaSecs),
+		}
+	}
+	return obs, nil
+}
+
+// Abduct runs the full abduction: model fit-free inference (the EHMM's
+// parameters are the paper's fixed hyperparameters; no EM is needed)
+// plus posterior sampling.
+func Abduct(log *player.SessionLog, cfg Config) (*Abduction, error) {
+	if log == nil || len(log.Records) == 0 {
+		return nil, errors.New("abduction: empty session log")
+	}
+	var maxObs float64
+	for _, r := range log.Records {
+		if r.ThroughputMbps > maxObs {
+			maxObs = r.ThroughputMbps
+		}
+	}
+	cfg = cfg.withDefaults(maxObs)
+
+	model, err := hmm.New(cfg.HMM)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := Observations(log, cfg.HMM.DeltaSecs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IgnoreTCPState {
+		for i := range obs {
+			warm := tcp.Fresh(obs[i].TCP.MinRTT)
+			warm.CWND = tcp.DefaultSSThresh // window never the bottleneck
+			warm.LastSendGap = 0            // no slow-start restart
+			obs[i].TCP = warm
+		}
+	}
+	if cfg.FitTransitions > 0 {
+		fit, err := model.FitTransitions(obs, cfg.FitTransitions, 0.1)
+		if err != nil {
+			return nil, fmt.Errorf("abduction: transition fit: %w", err)
+		}
+		model = fit.Model
+	}
+	viterbi, _, err := model.Viterbi(obs)
+	if err != nil {
+		return nil, err
+	}
+	post, err := model.ForwardBackward(obs)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := model.SampleK(obs, cfg.NumSamples, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Abduction{
+		Model:        model,
+		Observations: obs,
+		ViterbiPath:  viterbi,
+		Posterior:    post,
+		SampledPaths: paths,
+		log:          log,
+		cfg:          cfg,
+	}, nil
+}
+
+// Log returns the session log the abduction was built from.
+func (a *Abduction) Log() *player.SessionLog { return a.log }
+
+// ConfigUsed returns the (defaulted) configuration.
+func (a *Abduction) ConfigUsed() Config { return a.cfg }
+
+// MostLikelyTrace returns the GTBW trace implied by the Viterbi path.
+func (a *Abduction) MostLikelyTrace() *trace.Trace {
+	return a.pathToTrace(a.ViterbiPath)
+}
+
+// SampleTraces returns the K posterior traces, interpolated onto the
+// δ grid (paper: "intermediate values are interpolated from sampled
+// C_s1:N").
+func (a *Abduction) SampleTraces() []*trace.Trace {
+	out := make([]*trace.Trace, len(a.SampledPaths))
+	for i, p := range a.SampledPaths {
+		out[i] = a.pathToTrace(p)
+	}
+	return out
+}
+
+// pathToTrace expands per-chunk states into a per-interval trace:
+// intervals carrying one or more chunk starts take (the mean of) those
+// chunks' capacities; intervals between chunk starts are linearly
+// interpolated and re-quantized to the ε grid; leading/trailing
+// intervals hold the nearest inferred value.
+func (a *Abduction) pathToTrace(path []int) *trace.Trace {
+	delta := a.cfg.HMM.DeltaSecs
+	eps := a.cfg.HMM.EpsMbps
+	lastInterval := a.Observations[len(a.Observations)-1].StartInterval
+	// Pad beyond the final chunk so replays that run longer (e.g. more
+	// rebuffering in Setting B) still see defined bandwidth; Trace.At
+	// holds the last value beyond the end anyway.
+	n := lastInterval + 2
+	vals := make([]float64, n)
+	known := make([]bool, n)
+	counts := make([]int, n)
+
+	for i, o := range a.Observations {
+		idx := o.StartInterval
+		cap := a.Model.Capacity(path[i])
+		if known[idx] {
+			// Multiple chunks start in one interval ("zero, one or more
+			// observations per hidden state"): average their draws.
+			vals[idx] = (vals[idx]*float64(counts[idx]) + cap) / float64(counts[idx]+1)
+			counts[idx]++
+		} else {
+			vals[idx] = cap
+			known[idx] = true
+			counts[idx] = 1
+		}
+	}
+
+	// Interpolate gaps between known intervals; extend edges.
+	firstKnown, lastKnown := -1, -1
+	for i := 0; i < n; i++ {
+		if known[i] {
+			if firstKnown < 0 {
+				firstKnown = i
+			}
+			lastKnown = i
+		}
+	}
+	for i := 0; i < firstKnown; i++ {
+		vals[i] = vals[firstKnown]
+	}
+	for i := lastKnown + 1; i < n; i++ {
+		vals[i] = vals[lastKnown]
+	}
+	prev := firstKnown
+	for i := firstKnown + 1; i <= lastKnown; i++ {
+		if !known[i] {
+			continue
+		}
+		if i > prev+1 {
+			for j := prev + 1; j < i; j++ {
+				t := float64(j-prev) / float64(i-prev)
+				v := vals[prev] + (vals[i]-vals[prev])*t
+				vals[j] = math.Round(v/eps) * eps
+			}
+		}
+		prev = i
+	}
+
+	tr, err := trace.FromSteps(delta, vals)
+	if err != nil {
+		panic(fmt.Sprintf("abduction: internal trace construction failed: %v", err))
+	}
+	return tr
+}
+
+// PredictDownloadTime answers the interventional query of §4.4: the
+// predicted download time for a hypothetical next chunk of the given
+// size starting at startSecs with TCP state st. It takes the Viterbi
+// state of the last observed chunk, advances it through the transition
+// matrix by the elapsed δ-intervals to get the expected GTBW, and runs
+// the estimator f.
+func (a *Abduction) PredictDownloadTime(startSecs float64, st tcp.State, sizeBytes float64) float64 {
+	lastObs := a.Observations[len(a.Observations)-1]
+	lastState := a.ViterbiPath[len(a.ViterbiPath)-1]
+	gap := int(startSecs/a.cfg.HMM.DeltaSecs) - lastObs.StartInterval
+	if gap < 0 {
+		gap = 0
+	}
+	gtbw := a.Model.ExpectedCapacityAfter(lastState, gap)
+	return tcp.EstimateDownloadTime(gtbw, st, sizeBytes)
+}

@@ -1,0 +1,67 @@
+package abduction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"veritas/internal/player"
+	"veritas/internal/trace"
+)
+
+// BaselineTrace builds the paper's Baseline GTBW estimate from a session
+// log: the observed throughput of each chunk is assumed to hold over the
+// chunk's whole download window, and bandwidth during off-periods (no
+// active download) is linearly interpolated between the surrounding
+// chunks' throughputs. This is the adjustment-free scheme "commonly used
+// in most video streaming evaluations today" that Veritas outperforms.
+//
+// The result is sampled onto a uniform grid of gridSecs (1 s captures
+// the interpolation well below typical off-period lengths).
+func BaselineTrace(log *player.SessionLog, gridSecs float64) (*trace.Trace, error) {
+	if log == nil || len(log.Records) == 0 {
+		return nil, errors.New("abduction: empty session log")
+	}
+	if gridSecs <= 0 {
+		return nil, fmt.Errorf("abduction: grid %v <= 0", gridSecs)
+	}
+	recs := log.Records
+	horizon := recs[len(recs)-1].End + gridSecs
+	n := int(math.Ceil(horizon/gridSecs)) + 1
+	vals := make([]float64, n)
+
+	valueAt := func(t float64) float64 {
+		// Inside a download window: that chunk's observed throughput.
+		for _, r := range recs {
+			if t >= r.Start && t <= r.End {
+				return r.ThroughputMbps
+			}
+		}
+		// Before the first chunk / after the last: hold the edge value.
+		if t < recs[0].Start {
+			return recs[0].ThroughputMbps
+		}
+		last := recs[len(recs)-1]
+		if t > last.End {
+			return last.ThroughputMbps
+		}
+		// Off-period: linear interpolation between the previous chunk's
+		// and next chunk's throughput across the gap.
+		for i := 0; i+1 < len(recs); i++ {
+			if t > recs[i].End && t < recs[i+1].Start {
+				span := recs[i+1].Start - recs[i].End
+				if span <= 0 {
+					return recs[i+1].ThroughputMbps
+				}
+				frac := (t - recs[i].End) / span
+				return recs[i].ThroughputMbps + frac*(recs[i+1].ThroughputMbps-recs[i].ThroughputMbps)
+			}
+		}
+		return last.ThroughputMbps
+	}
+
+	for i := 0; i < n; i++ {
+		vals[i] = valueAt(float64(i) * gridSecs)
+	}
+	return trace.FromSteps(gridSecs, vals)
+}

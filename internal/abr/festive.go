@@ -1,0 +1,78 @@
+package abr
+
+// Festive implements the rate-based core of FESTIVE (Jiang et al.,
+// CoNEXT 2012), one of the ABR families the paper's related work
+// covers: a harmonic-mean throughput target with gradual switching —
+// step up one rung only after the target has held for a few chunks,
+// step down immediately. It complements MPC/BBA/BOLA in the replay
+// engine and gives what-if queries a fourth algorithm family.
+type Festive struct {
+	// Safety scales the predicted throughput (default 0.85).
+	Safety float64
+	// Window is the harmonic-mean window (default 5).
+	Window int
+	// UpDelay is how many consecutive chunks the target must exceed the
+	// current rung before stepping up (default 3).
+	UpDelay int
+
+	current int
+	upCount int
+	started bool
+}
+
+// NewFestive returns Festive with the standard parameters.
+func NewFestive() *Festive { return &Festive{Safety: 0.85, Window: 5, UpDelay: 3} }
+
+// Name implements Algorithm.
+func (f *Festive) Name() string { return "Festive" }
+
+func (f *Festive) params() (safety float64, window, upDelay int) {
+	safety = f.Safety
+	if safety == 0 {
+		safety = 0.85
+	}
+	window = f.Window
+	if window == 0 {
+		window = 5
+	}
+	upDelay = f.UpDelay
+	if upDelay == 0 {
+		upDelay = 3
+	}
+	return safety, window, upDelay
+}
+
+// Choose implements Algorithm.
+func (f *Festive) Choose(ctx Context) int {
+	safety, window, upDelay := f.params()
+	if !f.started {
+		f.started = true
+		f.current = 0
+		return 0
+	}
+	pred := HarmonicMean(ctx.PastThroughputMbps, window) * safety
+	// The reference rung: highest bitrate sustainable at the predicted
+	// throughput.
+	ref := 0
+	for q := 0; q < ctx.Video.NumQualities(); q++ {
+		if ctx.Video.Quality(q).Mbps <= pred {
+			ref = q
+		}
+	}
+	switch {
+	case ref > f.current:
+		f.upCount++
+		if f.upCount >= upDelay {
+			f.current++
+			f.upCount = 0
+		}
+	case ref < f.current:
+		// Step down immediately, one rung per chunk (gradual switching).
+		f.current--
+		f.upCount = 0
+	default:
+		f.upCount = 0
+	}
+	f.current = clampQuality(f.current, ctx.Video)
+	return f.current
+}

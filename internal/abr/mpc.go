@@ -1,0 +1,140 @@
+package abr
+
+import "math"
+
+// MPC is the model-predictive-control algorithm of Yin et al. (the
+// paper's default deployed ABR). At each step it predicts throughput
+// with a robust (error-discounted) harmonic mean, then exhaustively
+// searches quality sequences over a short horizon, simulating buffer
+// evolution, and picks the first quality of the sequence maximizing a
+// linear QoE: Σ bitrate − RebufPenalty·rebuffer − SmoothPenalty·|Δbitrate|.
+type MPC struct {
+	// Horizon is the lookahead depth in chunks (default 4).
+	Horizon int
+	// Window is the harmonic-mean window (default 5).
+	Window int
+	// RebufPenalty is QoE lost per second of rebuffering, in Mbps-equivalent
+	// units (default 8).
+	RebufPenalty float64
+	// SmoothPenalty scales the |Δbitrate| switching term (default 1).
+	SmoothPenalty float64
+	// Robust enables the RobustMPC error discount (default true via NewMPC).
+	Robust bool
+
+	maxErr float64 // running max relative prediction error (robust mode)
+}
+
+// NewMPC returns RobustMPC with the defaults used across the
+// reproduction's experiments.
+func NewMPC() *MPC {
+	return &MPC{Horizon: 4, Window: 5, RebufPenalty: 8, SmoothPenalty: 1, Robust: true}
+}
+
+// Name implements Algorithm.
+func (m *MPC) Name() string { return "MPC" }
+
+func (m *MPC) horizon() int {
+	if m.Horizon <= 0 {
+		return 4
+	}
+	return m.Horizon
+}
+
+func (m *MPC) window() int {
+	if m.Window <= 0 {
+		return 5
+	}
+	return m.Window
+}
+
+func (m *MPC) rebufPenalty() float64 {
+	if m.RebufPenalty == 0 {
+		return 8
+	}
+	return m.RebufPenalty
+}
+
+// predict returns the robust throughput estimate in Mbps.
+func (m *MPC) predict(past []float64) float64 {
+	hm := HarmonicMean(past, m.window())
+	if hm <= 0 {
+		return 0
+	}
+	if !m.Robust {
+		return hm
+	}
+	// RobustMPC: track the max relative error of the harmonic-mean
+	// predictor on past observations and discount by it.
+	if len(past) >= 2 {
+		prev := HarmonicMean(past[:len(past)-1], m.window())
+		actual := past[len(past)-1]
+		if prev > 0 && actual > 0 {
+			err := math.Abs(prev-actual) / actual
+			if err > m.maxErr {
+				m.maxErr = err
+			}
+			// Decay so one outlier does not depress the session forever.
+			m.maxErr *= 0.99
+		}
+	}
+	return hm / (1 + m.maxErr)
+}
+
+// Choose implements Algorithm.
+func (m *MPC) Choose(ctx Context) int {
+	v := ctx.Video
+	pred := m.predict(ctx.PastThroughputMbps)
+	if pred <= 0 {
+		// No observations yet: start from the bottom like the deployed
+		// systems the paper logs.
+		return 0
+	}
+	horizon := m.horizon()
+	remaining := v.NumChunks() - ctx.ChunkIndex
+	if horizon > remaining {
+		horizon = remaining
+	}
+	if horizon <= 0 {
+		return 0
+	}
+
+	nq := v.NumQualities()
+	bestQ, bestScore := 0, math.Inf(-1)
+	seq := make([]int, horizon)
+
+	var search func(depth int, buffer float64, lastQ int, score float64)
+	search = func(depth int, buffer float64, lastQ int, score float64) {
+		if depth == horizon {
+			if score > bestScore {
+				bestScore = score
+				bestQ = seq[0]
+			}
+			return
+		}
+		// Prune: even a perfect completion cannot add more than
+		// maxBitrate per remaining step.
+		maxRate := v.Quality(nq - 1).Mbps
+		if score+float64(horizon-depth)*maxRate <= bestScore {
+			return
+		}
+		chunk := ctx.ChunkIndex + depth
+		for q := 0; q < nq; q++ {
+			size := v.Size(chunk, q)
+			dl := size * 8 / 1e6 / pred // predicted download seconds
+			rebuf := math.Max(0, dl-buffer)
+			nb := math.Max(0, buffer-dl) + v.ChunkSeconds()
+			if nb > ctx.BufferCap {
+				nb = ctx.BufferCap
+			}
+			rate := v.Quality(q).Mbps
+			step := rate - m.rebufPenalty()*rebuf
+			if lastQ >= 0 {
+				step -= m.SmoothPenalty * math.Abs(rate-v.Quality(lastQ).Mbps)
+			}
+			seq[depth] = q
+			search(depth+1, nb, q, score+step)
+		}
+	}
+	search(0, ctx.BufferSeconds, ctx.LastQuality, 0)
+	return clampQuality(bestQ, v)
+}

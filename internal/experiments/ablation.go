@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"veritas/internal/abduction"
+	"veritas/internal/abr"
+	"veritas/internal/hmm"
+	"veritas/internal/stats"
+	"veritas/internal/trace"
+)
+
+// The ablations go beyond the paper's figures: they quantify the
+// contribution of each design choice DESIGN.md calls out — the TCP-state
+// control variables, the tridiagonal stability prior, the emission noise
+// σ, and the number of posterior samples K.
+func init() {
+	register("abl-tcpstate", "Ablation: abduction without the TCP-state control variables", ablTCPState)
+	register("abl-prior", "Ablation: transition prior (tridiagonal stay-prob sweep vs uniform)", ablPrior)
+	register("abl-sigma", "Ablation: emission noise σ sweep", ablSigma)
+	register("abl-em", "Ablation: fixed tridiagonal prior vs Baum-Welch-learned transitions", ablEM)
+}
+
+// inferRMSE abduces with the given config and returns the most-likely
+// trace's RMSE against the ground truth, averaged across the scale's
+// traces.
+func inferRMSE(s Scale, cfg abduction.Config) (meanRMSE float64, err error) {
+	traces, err := fccTraces(s)
+	if err != nil {
+		return 0, err
+	}
+	vid := testVideo(s)
+	var sum float64
+	var n int
+	for i, gt := range traces {
+		c := cfg
+		c.Seed = s.Seed + int64(i)
+		log, _, err := session(vid, abr.NewMPC(), gt, settingABuffer, s.Seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		abd, err := abduction.Abduct(log, c)
+		if err != nil {
+			return 0, err
+		}
+		horizon := log.Records[len(log.Records)-1].End
+		sum += traceRMSE(abd.MostLikelyTrace(), gt, horizon)
+		n++
+	}
+	return sum / float64(n), nil
+}
+
+// traceRMSE samples both traces at 1 s over [0, horizon].
+func traceRMSE(est, truth *trace.Trace, horizon float64) float64 {
+	var sum float64
+	var n int
+	for t := 0.0; t < horizon; t++ {
+		d := est.At(t) - truth.At(t)
+		sum += d * d
+		n++
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+func ablTCPState(s Scale) (*Table, error) {
+	full, err := inferRMSE(s, abduction.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ablated, err := inferRMSE(s, abduction.Config{IgnoreTCPState: true})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "abl-tcpstate",
+		Title:  "GTBW recovery with and without the TCP-state control variables",
+		Header: []string{"variant", "mean RMSE vs GTBW (Mbps)"},
+	}
+	t.AddRow("Veritas (with W_sn)", full)
+	t.AddRow("no TCP state (warm-connection assumption)", ablated)
+	if full < ablated {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"SHAPE OK: conditioning on W_sn improves recovery by %.0f%% — the paper's control variables carry real information",
+			(1-full/ablated)*100))
+	} else {
+		t.Notes = append(t.Notes, "SHAPE MISS: removing the TCP state did not hurt recovery")
+	}
+	return t, nil
+}
+
+func ablPrior(s Scale) (*Table, error) {
+	t := &Table{
+		ID:     "abl-prior",
+		Title:  "GTBW recovery under different transition priors",
+		Header: []string{"prior", "mean RMSE vs GTBW (Mbps)"},
+	}
+	type variant struct {
+		label string
+		cfg   hmm.Config
+	}
+	base := hmm.DefaultConfig(12)
+	variants := []variant{}
+	for _, stay := range []float64{0.5, 0.8, 0.95} {
+		c := base
+		c.StayProb = stay
+		variants = append(variants, variant{fmt.Sprintf("tridiagonal stay=%.2f", stay), c})
+	}
+	{
+		c := base
+		c.Prior = "uniform"
+		variants = append(variants, variant{"uniform (no structure)", c})
+	}
+	var rmses []float64
+	for _, v := range variants {
+		r, err := inferRMSE(s, abduction.Config{HMM: v.cfg})
+		if err != nil {
+			return nil, err
+		}
+		rmses = append(rmses, r)
+		t.AddRow(v.label, r)
+	}
+	uniform := rmses[len(rmses)-1]
+	bestTri := stats.Min(rmses[:len(rmses)-1])
+	if bestTri < uniform {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"SHAPE OK: the stability prior beats the uniform prior (%.3g vs %.3g) — the Markov structure constrains uncertain regions (paper §4.2)",
+			bestTri, uniform))
+	} else {
+		t.Notes = append(t.Notes, "SHAPE MISS: uniform prior matched the tridiagonal prior")
+	}
+	return t, nil
+}
+
+func ablSigma(s Scale) (*Table, error) {
+	t := &Table{
+		ID:     "abl-sigma",
+		Title:  "GTBW recovery under different emission noise settings",
+		Header: []string{"sigma (Mbps)", "mean RMSE vs GTBW (Mbps)"},
+	}
+	best, bestSigma := math.Inf(1), 0.0
+	for _, sigma := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
+		cfg := hmm.DefaultConfig(12)
+		cfg.Sigma = sigma
+		r, err := inferRMSE(s, abduction.Config{HMM: cfg})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sigma, r)
+		if r < best {
+			best, bestSigma = r, sigma
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"best σ = %.2g (paper uses 0.5); too small over-trusts the estimator f, too large ignores the evidence",
+		bestSigma))
+	return t, nil
+}
+
+func ablEM(s Scale) (*Table, error) {
+	fixed, err := inferRMSE(s, abduction.Config{})
+	if err != nil {
+		return nil, err
+	}
+	learned, err := inferRMSE(s, abduction.Config{FitTransitions: 3})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "abl-em",
+		Title:  "Fixed tridiagonal prior vs per-session Baum-Welch-learned transitions",
+		Header: []string{"transitions", "mean RMSE vs GTBW (Mbps)"},
+	}
+	t.AddRow("fixed tridiagonal (paper)", fixed)
+	t.AddRow("learned (3 EM iterations)", learned)
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"learning transitions from a single session changes RMSE by %+.3g Mbps; the paper's fixed prior is a strong default",
+		learned-fixed))
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"veritas/internal/abduction"
+	"veritas/internal/abr"
+	"veritas/internal/stats"
+	"veritas/internal/trace"
+)
+
+func init() {
+	register("fig7", "Inferred GTBW time series: Baseline vs Veritas samples vs truth", fig7)
+}
+
+// fig7 reproduces the example-trace figure: one FCC-like trace is
+// streamed with MPC, then the Baseline estimate and five Veritas samples
+// are compared against the true GTBW over time.
+func fig7(s Scale) (*Table, error) {
+	gt, err := trace.Generate(trace.DefaultFCC(s.Seed + 7))
+	if err != nil {
+		return nil, err
+	}
+	vid := testVideo(s)
+	log, _, err := session(vid, abr.NewMPC(), gt, settingABuffer, s.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	abd, err := abduction.Abduct(log, abduction.Config{NumSamples: s.Samples, Seed: s.Seed + 7})
+	if err != nil {
+		return nil, err
+	}
+	base, err := abduction.BaselineTrace(log, 1)
+	if err != nil {
+		return nil, err
+	}
+	samples := abd.SampleTraces()
+	horizon := log.Records[len(log.Records)-1].End
+
+	t := &Table{
+		ID:     "fig7",
+		Title:  "GTBW (Mbps) over time for one example trace",
+		Header: []string{"t (s)", "GTBW", "Baseline", "Veritas min", "Veritas max", "Viterbi"},
+	}
+	ml := abd.MostLikelyTrace()
+	step := horizon / 24
+	if step < 1 {
+		step = 1
+	}
+	for tt := 0.0; tt <= horizon; tt += step {
+		lo, hi := samples[0].At(tt), samples[0].At(tt)
+		for _, sm := range samples[1:] {
+			v := sm.At(tt)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		t.AddRow(tt, gt.At(tt), base.At(tt), lo, hi, ml.At(tt))
+	}
+
+	// Per-second RMSE of each estimate against the truth.
+	rmse := func(est *trace.Trace) float64 {
+		var errs []float64
+		for tt := 0.0; tt < horizon; tt++ {
+			errs = append(errs, est.At(tt)-gt.At(tt))
+		}
+		sq := make([]float64, len(errs))
+		for i, e := range errs {
+			sq[i] = e * e
+		}
+		return math.Sqrt(stats.Mean(sq))
+	}
+	baseRMSE := rmse(base)
+	var sampleRMSEs []float64
+	for _, sm := range samples {
+		sampleRMSEs = append(sampleRMSEs, rmse(sm))
+	}
+	t.AddRow("RMSE", 0.0, baseRMSE, stats.Min(sampleRMSEs), stats.Max(sampleRMSEs), rmse(ml))
+	if stats.Max(sampleRMSEs) < baseRMSE {
+		t.Notes = append(t.Notes,
+			"SHAPE OK: every Veritas sample is closer to GTBW than Baseline (paper Fig 7)")
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"SHAPE CHECK: Baseline RMSE %.3g, Veritas sample RMSEs %.3g-%.3g",
+			baseRMSE, stats.Min(sampleRMSEs), stats.Max(sampleRMSEs)))
+	}
+	return t, nil
+}

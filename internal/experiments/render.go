@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RenderCSV writes the table as CSV: a header row then data rows. The
+// title and notes are emitted as comment records prefixed with '#'.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON writes the table as a single indented JSON object.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Format names accepted by RenderAs.
+const (
+	FormatText = "text"
+	FormatCSV  = "csv"
+	FormatJSON = "json"
+)
+
+// RenderAs dispatches on the format name.
+func (t *Table) RenderAs(w io.Writer, format string) error {
+	switch format {
+	case FormatText, "":
+		return t.Render(w)
+	case FormatCSV:
+		return t.RenderCSV(w)
+	case FormatJSON:
+		return t.RenderJSON(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (want text, csv or json)", format)
+	}
+}

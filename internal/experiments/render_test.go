@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	t := &Table{
+		ID:     "demo",
+		Title:  "demo table",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	t.AddRow("x", 1.25)
+	t.AddRow("comma,cell", 2)
+	return t
+}
+
+func TestRenderCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := demoTable().RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# demo: demo table", "name,value", "x,1.25", `"comma,cell",2`, "# note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := demoTable().RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.ID != "demo" || len(back.Rows) != 2 || back.Rows[0][1] != "1.25" {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	for _, f := range []string{FormatText, FormatCSV, FormatJSON, ""} {
+		var sb strings.Builder
+		if err := demoTable().RenderAs(&sb, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("format %q produced no output", f)
+		}
+	}
+	var sb strings.Builder
+	if err := demoTable().RenderAs(&sb, "xml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"veritas/internal/abr"
+	"veritas/internal/netem"
+	"veritas/internal/player"
+	"veritas/internal/trace"
+	"veritas/internal/video"
+)
+
+// testbedNet returns the emulated path used across the evaluation: the
+// paper's Mahimahi shell with an 80 ms end-to-end delay each way
+// (160 ms RTT), slow-start restart on, mild queueing jitter. The seed
+// offsets keep independent sessions on independent jitter streams.
+func testbedNet(seed int64) netem.Config {
+	cfg := netem.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// testVideo builds the default 10-minute clip truncated to the scale's
+// chunk count.
+func testVideo(s Scale) *video.Video {
+	cfg := video.DefaultConfig(1)
+	cfg.NumChunks = s.NumChunks
+	return video.MustSynthesize(cfg)
+}
+
+// higherVideo is the same content on the Figure 11 "higher qualities"
+// ladder.
+func higherVideo(s Scale) *video.Video {
+	cfg := video.DefaultConfig(1)
+	cfg.NumChunks = s.NumChunks
+	cfg.Ladder = video.HigherLadder()
+	return video.MustSynthesize(cfg)
+}
+
+// fccTraces generates the counterfactual trace set (3–8 Mbps).
+func fccTraces(s Scale) ([]*trace.Trace, error) {
+	cfg := trace.DefaultFCC(s.Seed)
+	return trace.GenerateSet(cfg, s.NumTraces)
+}
+
+// wideTraces generates the interventional-range set (0.5–10 Mbps), used
+// to train Fugu for Figure 12.
+func wideTraces(seed int64, n int) ([]*trace.Trace, error) {
+	cfg := trace.GenConfig{
+		MinMbps:  0.5,
+		MaxMbps:  10,
+		Interval: 5,
+		Horizon:  900,
+		StepMbps: 0.4,
+		JumpProb: 0.02,
+		Seed:     seed,
+	}
+	return trace.GenerateSet(cfg, n)
+}
+
+// poorGoodTraces builds the Figure 2(a/b) training mix: half the traces
+// with poor conditions (0.05–0.3 Mbps) and half good (9–10 Mbps).
+func poorGoodTraces(seed int64, n int) ([]*trace.Trace, error) {
+	half := n / 2
+	if half == 0 {
+		half = 1
+	}
+	poor, err := trace.GenerateSet(trace.GenConfig{
+		MinMbps: 0.05, MaxMbps: 0.3, Interval: 5, Horizon: 3600,
+		StepMbps: 0.05, JumpProb: 0.02, Seed: seed,
+	}, half)
+	if err != nil {
+		return nil, err
+	}
+	good, err := trace.GenerateSet(trace.GenConfig{
+		MinMbps: 9, MaxMbps: 10, Interval: 5, Horizon: 900,
+		StepMbps: 0.2, JumpProb: 0.02, Seed: seed + 10_000,
+	}, half)
+	if err != nil {
+		return nil, err
+	}
+	return append(poor, good...), nil
+}
+
+// session runs one streaming session and returns its log and metrics.
+func session(v *video.Video, alg abr.Algorithm, tr *trace.Trace, bufferCap float64, seed int64) (*player.SessionLog, player.Metrics, error) {
+	log, m, err := player.Run(player.Config{
+		Video:     v,
+		ABR:       alg,
+		Trace:     tr,
+		Net:       testbedNet(seed),
+		BufferCap: bufferCap,
+	})
+	if err != nil {
+		return nil, player.Metrics{}, fmt.Errorf("session (abr=%s): %w", alg.Name(), err)
+	}
+	return log, m, nil
+}

@@ -1,0 +1,151 @@
+package hmm
+
+import (
+	"math"
+
+	"veritas/internal/mathx"
+)
+
+// Posterior holds the smoothed distributions produced by the
+// forward–backward variant (paper Algorithm 2).
+type Posterior struct {
+	// Gamma[n][i] = P(C_sn = iε | Y_1:N, W_s1:N, S_1:N).
+	Gamma [][]float64
+	// Pair[n][i][j] = Γ_{i,j,n} = P(C_sn = iε, C_sn+1 = jε | …) for
+	// n = 0..N-2 (paper Equation (6)).
+	Pair [][][]float64
+	// LogLikelihood is log P(Y_1:N | W, S) under the model.
+	LogLikelihood float64
+}
+
+// ForwardBackward runs the scaled forward–backward recursion with the
+// embedded transitions A^Δn and the f-based emissions, returning the
+// marginal and pairwise posteriors the capacity sampler needs.
+func (m *Model) ForwardBackward(obs []Observation) (*Posterior, error) {
+	if len(obs) == 0 {
+		return nil, ErrNoObservations
+	}
+	d, err := gaps(obs)
+	if err != nil {
+		return nil, err
+	}
+	logEmit := m.emissionTable(obs)
+	ns := len(m.states)
+	N := len(obs)
+
+	// Rescale emissions per chunk so exp() cannot underflow even when
+	// every state is a poor fit: only ratios matter once alpha/beta are
+	// normalized, and the discarded max factors are re-added to the
+	// log-likelihood.
+	emit := make([][]float64, N)
+	emitShift := make([]float64, N)
+	for n := range logEmit {
+		maxLog := mathx.NegInf
+		for _, v := range logEmit[n] {
+			if v > maxLog {
+				maxLog = v
+			}
+		}
+		emitShift[n] = maxLog
+		row := make([]float64, ns)
+		for i, v := range logEmit[n] {
+			row[i] = math.Exp(v - maxLog)
+		}
+		emit[n] = row
+	}
+
+	alpha := make([][]float64, N)
+	scale := make([]float64, N)
+
+	cur := make([]float64, ns)
+	for i := 0; i < ns; i++ {
+		cur[i] = m.initDist[i] * emit[0][i]
+	}
+	scale[0] = mathx.Normalize(cur)
+	alpha[0] = append([]float64(nil), cur...)
+
+	for n := 1; n < N; n++ {
+		a := m.powCache.Pow(d[n])
+		pred := a.VecMul(alpha[n-1]) // Σ_i alpha[n-1][i] A^Δ[i][j]
+		for j := 0; j < ns; j++ {
+			pred[j] *= emit[n][j]
+		}
+		scale[n] = mathx.Normalize(pred)
+		alpha[n] = pred
+	}
+
+	beta := make([][]float64, N)
+	beta[N-1] = make([]float64, ns)
+	for i := range beta[N-1] {
+		beta[N-1][i] = 1
+	}
+	for n := N - 2; n >= 0; n-- {
+		a := m.powCache.Pow(d[n+1])
+		row := make([]float64, ns)
+		// row[i] = Σ_j A^Δ[i][j] emit[n+1][j] beta[n+1][j] / scale[n+1]
+		weighted := make([]float64, ns)
+		for j := 0; j < ns; j++ {
+			weighted[j] = emit[n+1][j] * beta[n+1][j]
+		}
+		for i := 0; i < ns; i++ {
+			var s float64
+			arow := a.Row(i)
+			for j := 0; j < ns; j++ {
+				s += arow[j] * weighted[j]
+			}
+			if scale[n+1] > 0 {
+				s /= scale[n+1]
+			}
+			row[i] = s
+		}
+		beta[n] = row
+	}
+
+	post := &Posterior{
+		Gamma: make([][]float64, N),
+		Pair:  make([][][]float64, N-1),
+	}
+	for n := 0; n < N; n++ {
+		g := make([]float64, ns)
+		for i := 0; i < ns; i++ {
+			g[i] = alpha[n][i] * beta[n][i]
+		}
+		mathx.Normalize(g)
+		post.Gamma[n] = g
+	}
+	for n := 0; n < N-1; n++ {
+		a := m.powCache.Pow(d[n+1])
+		pair := make([][]float64, ns)
+		var total float64
+		for i := 0; i < ns; i++ {
+			row := make([]float64, ns)
+			arow := a.Row(i)
+			for j := 0; j < ns; j++ {
+				v := alpha[n][i] * arow[j] * emit[n+1][j] * beta[n+1][j]
+				row[j] = v
+				total += v
+			}
+			pair[i] = row
+		}
+		if total > 0 {
+			for i := 0; i < ns; i++ {
+				for j := 0; j < ns; j++ {
+					pair[i][j] /= total
+				}
+			}
+		}
+		post.Pair[n] = pair
+	}
+
+	var ll float64
+	for n := 0; n < N; n++ {
+		if scale[n] > 0 {
+			ll += math.Log(scale[n])
+		} else {
+			ll = mathx.NegInf
+		}
+		ll += emitShift[n]
+	}
+	post.LogLikelihood = ll
+	return post, nil
+}

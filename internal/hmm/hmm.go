@@ -1,0 +1,228 @@
+// Package hmm implements the Embedded Hidden Markov Model at the heart
+// of Veritas (paper §3.2): a Markov chain over quantized ground-truth
+// bandwidth (GTBW) states whose transitions between consecutive chunks
+// use A^Δn (Δn = number of δ-length wall-clock intervals between the
+// chunks' start times) and whose emissions embed the domain-specific TCP
+// throughput estimator f:
+//
+//	P(Y_n | W_sn, S_n, C_sn = c) = Normal(f(c, W_sn, S_n), σ²).
+//
+// The package provides the paper's three algorithms: the Viterbi variant
+// (Algorithm 3), the scaled forward–backward variant (Algorithm 2)
+// producing the pairwise posterior Γ, and the posterior capacity sampler
+// (Algorithm 1).
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"veritas/internal/mathx"
+	"veritas/internal/tcp"
+)
+
+// Observation is the per-chunk evidence the EHMM conditions on: the
+// observed throughput Y_n, the TCP control state W_sn, the chunk size
+// S_n, and the δ-interval index of the chunk's start time s_n.
+type Observation struct {
+	ThroughputMbps float64
+	TCP            tcp.State
+	SizeBytes      float64
+	StartInterval  int // floor(s_n / δ)
+}
+
+// Config parameterizes the model. The paper's evaluation uses δ = 5 s,
+// ε = 0.5 Mbps, σ = 0.5 Mbps, a tridiagonal transition matrix and a
+// uniform initial distribution.
+type Config struct {
+	EpsMbps   float64 // ε: capacity quantization step
+	MaxMbps   float64 // top of the capacity grid (inclusive)
+	DeltaSecs float64 // δ: wall-clock seconds per GTBW interval
+	Sigma     float64 // σ: emission noise standard deviation, Mbps
+	// StayProb is the tridiagonal self-transition probability; the
+	// remainder splits evenly between the two neighbours (edge states
+	// give the whole remainder to their single neighbour).
+	StayProb float64
+	// Prior selects the transition structure: "" or "tridiagonal" for
+	// the paper's stability prior, "uniform" for an uninformative prior
+	// (used by the ablation experiments to show what the Markov
+	// structure contributes).
+	Prior string
+	// Estimator overrides the throughput model embedded in the
+	// emissions. Nil means the paper's estimator f
+	// (tcp.EstimateThroughput). The paper notes that "more detailed
+	// models that capture intricate details of specific TCP versions
+	// can be easily incorporated" — this is that hook: supply a model
+	// of, e.g., BBR, and the rest of the inference machinery is reused
+	// unchanged.
+	Estimator func(gtbwMbps float64, st tcp.State, sizeBytes float64) float64
+}
+
+// DefaultConfig mirrors the paper's hyperparameters for a grid reaching
+// maxMbps.
+func DefaultConfig(maxMbps float64) Config {
+	return Config{
+		EpsMbps:   0.5,
+		MaxMbps:   maxMbps,
+		DeltaSecs: 5,
+		Sigma:     0.5,
+		StayProb:  0.8,
+	}
+}
+
+// Validate reports the first problem with the config, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.EpsMbps <= 0:
+		return fmt.Errorf("hmm: EpsMbps %v <= 0", c.EpsMbps)
+	case c.MaxMbps < c.EpsMbps:
+		return fmt.Errorf("hmm: MaxMbps %v < EpsMbps %v", c.MaxMbps, c.EpsMbps)
+	case c.DeltaSecs <= 0:
+		return fmt.Errorf("hmm: DeltaSecs %v <= 0", c.DeltaSecs)
+	case c.Sigma <= 0:
+		return fmt.Errorf("hmm: Sigma %v <= 0", c.Sigma)
+	case c.StayProb <= 0 || c.StayProb >= 1:
+		return fmt.Errorf("hmm: StayProb %v outside (0, 1)", c.StayProb)
+	case c.Prior != "" && c.Prior != "tridiagonal" && c.Prior != "uniform":
+		return fmt.Errorf("hmm: unknown prior %q (want tridiagonal or uniform)", c.Prior)
+	}
+	return nil
+}
+
+// Model is an immutable EHMM ready for inference. Construct with New.
+type Model struct {
+	cfg      Config
+	states   []float64 // states[i] = i*ε Mbps
+	initDist []float64 // uniform u
+	trans    *mathx.Matrix
+	powCache *mathx.PowerCache
+	logPow   map[int]*mathx.Matrix // memoized element-wise log of A^k
+}
+
+// New builds the model: a capacity grid {0, ε, 2ε, …, ⌊Max/ε⌋·ε}, a
+// tridiagonal transition matrix and a uniform initial distribution.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(math.Floor(cfg.MaxMbps/cfg.EpsMbps)) + 1
+	states := make([]float64, n)
+	for i := range states {
+		states[i] = float64(i) * cfg.EpsMbps
+	}
+	var trans *mathx.Matrix
+	if cfg.Prior == "uniform" {
+		trans = mathx.NewMatrix(n, n)
+		for i := range trans.Data {
+			trans.Data[i] = 1 / float64(n)
+		}
+	} else {
+		trans = Tridiagonal(n, cfg.StayProb)
+	}
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = 1 / float64(n)
+	}
+	return &Model{
+		cfg:      cfg,
+		states:   states,
+		initDist: init,
+		trans:    trans,
+		powCache: mathx.NewPowerCache(trans),
+	}, nil
+}
+
+// Tridiagonal returns the paper's prior transition matrix: each state
+// stays with probability stay and otherwise moves to an adjacent
+// capacity, encoding that GTBW is stable but may drift.
+func Tridiagonal(n int, stay float64) *mathx.Matrix {
+	m := mathx.NewMatrix(n, n)
+	if n == 1 {
+		m.Set(0, 0, 1)
+		return m
+	}
+	move := 1 - stay
+	for i := 0; i < n; i++ {
+		switch i {
+		case 0:
+			m.Set(0, 0, stay)
+			m.Set(0, 1, move)
+		case n - 1:
+			m.Set(n-1, n-1, stay)
+			m.Set(n-1, n-2, move)
+		default:
+			m.Set(i, i, stay)
+			m.Set(i, i-1, move/2)
+			m.Set(i, i+1, move/2)
+		}
+	}
+	return m
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumStates returns the size of the capacity grid.
+func (m *Model) NumStates() int { return len(m.states) }
+
+// Capacity returns the GTBW in Mbps of state index i.
+func (m *Model) Capacity(i int) float64 { return m.states[i] }
+
+// StateFor returns the grid index nearest to mbps, clamped to the grid.
+func (m *Model) StateFor(mbps float64) int {
+	i := int(math.Round(mbps / m.cfg.EpsMbps))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(m.states) {
+		return len(m.states) - 1
+	}
+	return i
+}
+
+// TransitionPower returns A^k from the model's power cache.
+func (m *Model) TransitionPower(k int) *mathx.Matrix { return m.powCache.Pow(k) }
+
+// EmissionLogProb returns log P(Y | W, S, C = state i) per Equation (3):
+// a Gaussian around the embedded throughput estimator's prediction.
+func (m *Model) EmissionLogProb(obs Observation, i int) float64 {
+	est := m.cfg.Estimator
+	if est == nil {
+		est = tcp.EstimateThroughput
+	}
+	pred := est(m.states[i], obs.TCP, obs.SizeBytes)
+	return mathx.NormalLogPDF(obs.ThroughputMbps, pred, m.cfg.Sigma)
+}
+
+// gaps returns Δn for n = 1..N-1 (Δ[0] unused, kept for alignment) and
+// validates ordering.
+func gaps(obs []Observation) ([]int, error) {
+	d := make([]int, len(obs))
+	for n := 1; n < len(obs); n++ {
+		g := obs[n].StartInterval - obs[n-1].StartInterval
+		if g < 0 {
+			return nil, fmt.Errorf("hmm: observations out of order at %d (interval %d < %d)",
+				n, obs[n].StartInterval, obs[n-1].StartInterval)
+		}
+		d[n] = g
+	}
+	return d, nil
+}
+
+// emissionTable precomputes log-emissions [n][i]; shared by Viterbi and
+// forward–backward.
+func (m *Model) emissionTable(obs []Observation) [][]float64 {
+	tab := make([][]float64, len(obs))
+	for n, o := range obs {
+		row := make([]float64, len(m.states))
+		for i := range m.states {
+			row[i] = m.EmissionLogProb(o, i)
+		}
+		tab[n] = row
+	}
+	return tab
+}
+
+// ErrNoObservations is returned by inference entry points on empty input.
+var ErrNoObservations = errors.New("hmm: no observations")

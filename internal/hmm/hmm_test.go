@@ -1,0 +1,463 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"veritas/internal/tcp"
+)
+
+func testModel(t *testing.T, maxMbps float64) *Model {
+	t.Helper()
+	m, err := New(DefaultConfig(maxMbps))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// hotState returns a TCP state warm enough that the estimator f reports
+// ~GTBW for large chunks, making emissions informative about capacity.
+func hotState() tcp.State {
+	s := tcp.Fresh(0.080)
+	s.CWND = 2000
+	s.SSThresh = 2000
+	return s
+}
+
+// obsFor fabricates the observation a chunk of the given size would
+// produce if the true capacity were gtbw (no noise).
+func obsFor(gtbw float64, sizeBytes float64, interval int) Observation {
+	st := hotState()
+	return Observation{
+		ThroughputMbps: tcp.EstimateThroughput(gtbw, st, sizeBytes),
+		TCP:            st,
+		SizeBytes:      sizeBytes,
+		StartInterval:  interval,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{EpsMbps: 0, MaxMbps: 10, DeltaSecs: 5, Sigma: 0.5, StayProb: 0.8},
+		{EpsMbps: 0.5, MaxMbps: 0.1, DeltaSecs: 5, Sigma: 0.5, StayProb: 0.8},
+		{EpsMbps: 0.5, MaxMbps: 10, DeltaSecs: 0, Sigma: 0.5, StayProb: 0.8},
+		{EpsMbps: 0.5, MaxMbps: 10, DeltaSecs: 5, Sigma: 0, StayProb: 0.8},
+		{EpsMbps: 0.5, MaxMbps: 10, DeltaSecs: 5, Sigma: 0.5, StayProb: 1},
+		{EpsMbps: 0.5, MaxMbps: 10, DeltaSecs: 5, Sigma: 0.5, StayProb: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestStateGrid(t *testing.T) {
+	m := testModel(t, 10)
+	if m.NumStates() != 21 {
+		t.Fatalf("10 Mbps / 0.5 grid should have 21 states, got %d", m.NumStates())
+	}
+	if m.Capacity(0) != 0 || m.Capacity(20) != 10 {
+		t.Errorf("grid endpoints wrong: %v, %v", m.Capacity(0), m.Capacity(20))
+	}
+	if got := m.StateFor(3.2); got != 6 {
+		t.Errorf("StateFor(3.2) = %d, want 6", got)
+	}
+	if got := m.StateFor(-5); got != 0 {
+		t.Errorf("StateFor(-5) = %d, want 0", got)
+	}
+	if got := m.StateFor(99); got != 20 {
+		t.Errorf("StateFor(99) = %d, want 20", got)
+	}
+}
+
+func TestTridiagonalStochastic(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 21} {
+		a := Tridiagonal(n, 0.8)
+		if !a.IsRowStochastic(1e-12) {
+			t.Errorf("Tridiagonal(%d) not row-stochastic", n)
+		}
+	}
+	a := Tridiagonal(5, 0.8)
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !approx(a.At(2, 2), 0.8) || !approx(a.At(2, 1), 0.1) || !approx(a.At(2, 3), 0.1) {
+		t.Error("interior row wrong")
+	}
+	if !approx(a.At(0, 0), 0.8) || !approx(a.At(0, 1), 0.2) {
+		t.Error("edge row wrong")
+	}
+	if a.At(2, 0) != 0 {
+		t.Error("non-adjacent transition should be zero")
+	}
+}
+
+func TestTransitionPowerSpreads(t *testing.T) {
+	m := testModel(t, 10)
+	one := m.TransitionPower(1)
+	ten := m.TransitionPower(10)
+	// After more steps, mass further from the diagonal.
+	if ten.At(10, 10) >= one.At(10, 10) {
+		t.Error("self-transition probability should decay with steps")
+	}
+	if ten.At(10, 5) <= one.At(10, 5) {
+		t.Error("distant transitions should gain probability with steps")
+	}
+	if !ten.IsRowStochastic(1e-9) {
+		t.Error("A^10 not stochastic")
+	}
+}
+
+func TestEmissionPeaksAtTrueCapacity(t *testing.T) {
+	m := testModel(t, 10)
+	// A large chunk on a hot connection observes ~GTBW, so the emission
+	// should peak at the true state.
+	obs := obsFor(4.0, 5e6, 0)
+	best, bestLP := -1, math.Inf(-1)
+	for i := 0; i < m.NumStates(); i++ {
+		lp := m.EmissionLogProb(obs, i)
+		if lp > bestLP {
+			best, bestLP = i, lp
+		}
+	}
+	if m.Capacity(best) != 4.0 {
+		t.Errorf("emission peak at %v Mbps, want 4.0", m.Capacity(best))
+	}
+}
+
+func TestViterbiEmptyInput(t *testing.T) {
+	m := testModel(t, 10)
+	if _, _, err := m.Viterbi(nil); err != ErrNoObservations {
+		t.Errorf("want ErrNoObservations, got %v", err)
+	}
+}
+
+func TestViterbiOutOfOrder(t *testing.T) {
+	m := testModel(t, 10)
+	obs := []Observation{obsFor(4, 5e6, 3), obsFor(4, 5e6, 1)}
+	if _, _, err := m.Viterbi(obs); err == nil {
+		t.Error("out-of-order intervals should error")
+	}
+}
+
+func TestViterbiRecoversConstantCapacity(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 20; i++ {
+		obs = append(obs, obsFor(6.0, 4e6, i))
+	}
+	path, ll, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(ll, -1) {
+		t.Fatal("log-likelihood is -Inf")
+	}
+	for n, s := range path {
+		if m.Capacity(s) != 6.0 {
+			t.Errorf("chunk %d: Viterbi says %v Mbps, want 6.0", n, m.Capacity(s))
+		}
+	}
+}
+
+func TestViterbiRecoversStepChange(t *testing.T) {
+	// The tridiagonal prior caps the trackable slope at ±ε per
+	// δ-interval, so after a step change the Viterbi path ramps. With a
+	// 2.5 Mbps step (5 grid cells) and one observation per interval the
+	// ramp completes within 5 chunks of the change.
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 10; i++ {
+		obs = append(obs, obsFor(3.0, 4e6, i))
+	}
+	for i := 10; i < 22; i++ {
+		obs = append(obs, obsFor(5.5, 4e6, i))
+	}
+	path, _, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 7; n++ {
+		if math.Abs(m.Capacity(path[n])-3.0) > 0.51 {
+			t.Errorf("chunk %d: %v Mbps, want ~3.0", n, m.Capacity(path[n]))
+		}
+	}
+	for n := 16; n < 22; n++ {
+		if math.Abs(m.Capacity(path[n])-5.5) > 0.51 {
+			t.Errorf("chunk %d: %v Mbps, want ~5.5", n, m.Capacity(path[n]))
+		}
+	}
+	// The ramp itself must be monotone non-decreasing through the change.
+	for n := 8; n < 16; n++ {
+		if path[n+1] < path[n]-1 {
+			t.Errorf("ramp not monotone near change: state %d then %d", path[n], path[n+1])
+		}
+	}
+}
+
+func TestViterbiZeroGapChunksShareState(t *testing.T) {
+	// Δ=0 between chunks in the same interval: A^0 = I forces equal
+	// states even under conflicting evidence.
+	m := testModel(t, 10)
+	obs := []Observation{obsFor(3, 4e6, 5), obsFor(8, 4e6, 5)}
+	path, _, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != path[1] {
+		t.Errorf("zero-gap chunks got different states %d, %d", path[0], path[1])
+	}
+}
+
+func TestForwardBackwardGammaNormalized(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 15; i++ {
+		obs = append(obs, obsFor(5, 3e6, i*2))
+	}
+	post, err := m.ForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, g := range post.Gamma {
+		var s float64
+		for _, v := range g {
+			if v < -1e-12 {
+				t.Fatalf("negative posterior at chunk %d", n)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Gamma[%d] sums to %v", n, s)
+		}
+	}
+	for n, pair := range post.Pair {
+		var s float64
+		for _, row := range pair {
+			for _, v := range row {
+				s += v
+			}
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Pair[%d] sums to %v", n, s)
+		}
+	}
+}
+
+func TestPairMarginalsMatchGamma(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 12; i++ {
+		cap := 4.0
+		if i >= 6 {
+			cap = 7.0
+		}
+		obs = append(obs, obsFor(cap, 3e6, i))
+	}
+	post, err := m.ForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(post.Pair); n++ {
+		for i := 0; i < m.NumStates(); i++ {
+			var rowSum float64
+			for j := 0; j < m.NumStates(); j++ {
+				rowSum += post.Pair[n][i][j]
+			}
+			if math.Abs(rowSum-post.Gamma[n][i]) > 1e-6 {
+				t.Fatalf("Σ_j Pair[%d][%d][j] = %v != Gamma[%d][%d] = %v",
+					n, i, rowSum, n, i, post.Gamma[n][i])
+			}
+		}
+		for j := 0; j < m.NumStates(); j++ {
+			var colSum float64
+			for i := 0; i < m.NumStates(); i++ {
+				colSum += post.Pair[n][i][j]
+			}
+			if math.Abs(colSum-post.Gamma[n+1][j]) > 1e-6 {
+				t.Fatalf("Σ_i Pair[%d][i][%d] = %v != Gamma[%d][%d] = %v",
+					n, j, colSum, n+1, j, post.Gamma[n+1][j])
+			}
+		}
+	}
+}
+
+func TestGammaPeaksNearTruth(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 20; i++ {
+		obs = append(obs, obsFor(6.5, 4e6, i))
+	}
+	post, err := m.ForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range post.Gamma {
+		bi := 0
+		for i, v := range post.Gamma[n] {
+			if v > post.Gamma[n][bi] {
+				bi = i
+			}
+		}
+		if math.Abs(m.Capacity(bi)-6.5) > 0.51 {
+			t.Errorf("chunk %d posterior mode %v Mbps, want ~6.5", n, m.Capacity(bi))
+		}
+	}
+}
+
+func TestSampleMatchesViterbiOnSharpPosterior(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 15; i++ {
+		obs = append(obs, obsFor(5, 5e6, i))
+	}
+	viterbi, _, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := m.ForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	seq, err := m.Sample(rng, post, viterbi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With noiseless synthetic observations, the posterior is sharp and
+	// samples should equal the Viterbi path everywhere.
+	for n := range seq {
+		if seq[n] != viterbi[n] {
+			t.Errorf("chunk %d sampled %d, viterbi %d", n, seq[n], viterbi[n])
+		}
+	}
+}
+
+func TestSampleKDeterministicSeed(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 10; i++ {
+		// Small chunks leave capacity ambiguous, so samples vary.
+		obs = append(obs, obsFor(5, 50e3, i))
+	}
+	a, err := m.SampleK(obs, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SampleK(obs, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a {
+		for n := range a[s] {
+			if a[s][n] != b[s][n] {
+				t.Fatal("same seed produced different samples")
+			}
+		}
+	}
+}
+
+func TestSampleKValidation(t *testing.T) {
+	m := testModel(t, 10)
+	if _, err := m.SampleK(nil, 3, 1); err == nil {
+		t.Error("empty observations should error")
+	}
+	obs := []Observation{obsFor(5, 1e6, 0)}
+	if _, err := m.SampleK(obs, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestExpectedCapacityAfter(t *testing.T) {
+	m := testModel(t, 10)
+	st := m.StateFor(5)
+	// Gap 0: expectation is the state itself.
+	if got := m.ExpectedCapacityAfter(st, 0); got != 5 {
+		t.Errorf("gap-0 expectation = %v, want 5", got)
+	}
+	// Interior states: expectation stays near the state for small gaps
+	// (symmetric random walk).
+	if got := m.ExpectedCapacityAfter(st, 3); math.Abs(got-5) > 0.2 {
+		t.Errorf("gap-3 expectation = %v, want ~5", got)
+	}
+	// Edge state at 0: expectation must drift upward.
+	if got := m.ExpectedCapacityAfter(0, 10); got <= 0 {
+		t.Errorf("expectation from edge state should rise, got %v", got)
+	}
+	// Negative gap clamps to 0.
+	if got := m.ExpectedCapacityAfter(st, -5); got != 5 {
+		t.Errorf("negative gap = %v, want 5", got)
+	}
+}
+
+func TestAmbiguousSmallChunksHaveWiderPosterior(t *testing.T) {
+	m := testModel(t, 10)
+	entropy := func(size float64) float64 {
+		var obs []Observation
+		for i := 0; i < 10; i++ {
+			obs = append(obs, obsFor(6, size, i))
+		}
+		post, err := m.ForwardBackward(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h float64
+		for _, v := range post.Gamma[5] {
+			if v > 1e-12 {
+				h -= v * math.Log(v)
+			}
+		}
+		return h
+	}
+	// Chunks below the BDP tell us little about capacity; the posterior
+	// should be strictly more uncertain than with large chunks. This is
+	// the uncertainty mechanism behind Figure 7's spread.
+	hSmall := entropy(30e3)
+	hLarge := entropy(5e6)
+	if hSmall <= hLarge {
+		t.Errorf("posterior entropy: small-chunk %v <= large-chunk %v", hSmall, hLarge)
+	}
+}
+
+func TestCustomEstimatorHook(t *testing.T) {
+	// An oracle estimator (emission mean = the candidate capacity
+	// itself, as if throughput always equaled GTBW) changes inference:
+	// the Viterbi path should then track the raw observations instead
+	// of inverting the TCP model.
+	cfg := DefaultConfig(10)
+	cfg.Estimator = func(gtbw float64, _ tcp.State, _ float64) float64 { return gtbw }
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation with a cold TCP state whose observed throughput is 3
+	// although the true capacity generating it (via f) would be higher.
+	cold := tcp.Fresh(0.160)
+	cold.SSThresh = 40
+	cold.LastSendGap = 5
+	var obs []Observation
+	for i := 0; i < 10; i++ {
+		obs = append(obs, Observation{ThroughputMbps: 3, TCP: cold, SizeBytes: 4e5, StartInterval: i})
+	}
+	path, _, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, s := range path {
+		if m.Capacity(s) != 3 {
+			t.Fatalf("chunk %d: identity estimator should infer 3 Mbps, got %v", n, m.Capacity(s))
+		}
+	}
+	// The default model must infer a higher capacity for the same
+	// observations (it knows the cold connection under-reports).
+	md := testModel(t, 10)
+	pathDefault, _, err := md.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Capacity(pathDefault[5]) <= 3 {
+		t.Errorf("default estimator inferred %v, want > 3 (inversion of the cold state)",
+			md.Capacity(pathDefault[5]))
+	}
+}

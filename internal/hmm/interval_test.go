@@ -1,0 +1,174 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalForwardBackwardShapes(t *testing.T) {
+	m := testModel(t, 10)
+	var obs []Observation
+	for i := 0; i < 10; i++ {
+		obs = append(obs, obsFor(5, 2e6, i*3)) // gaps: intervals 0,3,6,...
+	}
+	post, err := m.IntervalForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := obs[len(obs)-1].StartInterval + 1
+	if post.T != wantT || len(post.Gamma) != wantT {
+		t.Fatalf("T = %d, want %d", post.T, wantT)
+	}
+	for tt, g := range post.Gamma {
+		var s float64
+		for _, v := range g {
+			if v < -1e-12 {
+				t.Fatalf("negative posterior at interval %d", tt)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Gamma[%d] sums to %v", tt, s)
+		}
+	}
+}
+
+func TestIntervalPosteriorMatchesChunkPosterior(t *testing.T) {
+	// At chunk-start intervals, the interval-chain marginals must agree
+	// with the embedded (A^Δ) chain's marginals: they are two
+	// factorizations of the same joint.
+	m := testModel(t, 10)
+	var obs []Observation
+	caps := []float64{4, 4, 4.5, 5, 5, 5.5, 6, 6, 6, 6}
+	for i, c := range caps {
+		obs = append(obs, obsFor(c, 3e6, i*2))
+	}
+	chunkPost, err := m.ForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intPost, err := m.IntervalForwardBackward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, o := range obs {
+		for i := 0; i < m.NumStates(); i++ {
+			a := chunkPost.Gamma[n][i]
+			b := intPost.Gamma[o.StartInterval][i]
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("chunk %d state %d: embedded %v vs interval %v", n, i, a, b)
+			}
+		}
+	}
+	if math.Abs(chunkPost.LogLikelihood-intPost.LogLikelihood) > 1e-6 {
+		t.Errorf("log-likelihoods differ: %v vs %v",
+			chunkPost.LogLikelihood, intPost.LogLikelihood)
+	}
+}
+
+func TestIntervalMultipleChunksPerInterval(t *testing.T) {
+	// Two chunks in the same interval multiply their emissions; the
+	// posterior should concentrate harder than with one chunk.
+	m := testModel(t, 10)
+	one := []Observation{obsFor(5, 1e6, 0), obsFor(5, 1e6, 1)}
+	two := []Observation{obsFor(5, 1e6, 0), obsFor(5, 1e6, 0), obsFor(5, 1e6, 1), obsFor(5, 1e6, 1)}
+	p1, err := m.IntervalForwardBackward(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.IntervalForwardBackward(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := func(g []float64) float64 {
+		var h float64
+		for _, v := range g {
+			if v > 1e-15 {
+				h -= v * math.Log(v)
+			}
+		}
+		return h
+	}
+	if ent(p2.Gamma[0]) > ent(p1.Gamma[0]) {
+		t.Errorf("doubled evidence should not widen the posterior: %v vs %v",
+			ent(p2.Gamma[0]), ent(p1.Gamma[0]))
+	}
+}
+
+func TestIntervalErrors(t *testing.T) {
+	m := testModel(t, 10)
+	if _, err := m.IntervalForwardBackward(nil); err != ErrNoObservations {
+		t.Errorf("want ErrNoObservations, got %v", err)
+	}
+	bad := []Observation{obsFor(5, 1e6, 3), obsFor(5, 1e6, 1)}
+	if _, err := m.IntervalForwardBackward(bad); err == nil {
+		t.Error("out-of-order intervals should error")
+	}
+}
+
+func TestFitTransitionsImprovesLikelihood(t *testing.T) {
+	// Observations from a volatile process: EM should raise the
+	// likelihood monotonically over the fixed tridiagonal prior.
+	m := testModel(t, 10)
+	var obs []Observation
+	caps := []float64{3, 3, 7, 7, 3, 3, 7, 7, 3, 3, 7, 7, 3, 3, 7, 7}
+	for i, c := range caps {
+		obs = append(obs, obsFor(c, 4e6, i))
+	}
+	fit, err := m.FitTransitions(obs, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit.LogLikelihoods) != 5 {
+		t.Fatalf("recorded %d lls", len(fit.LogLikelihoods))
+	}
+	for i := 1; i < len(fit.LogLikelihoods); i++ {
+		if fit.LogLikelihoods[i] < fit.LogLikelihoods[i-1]-1e-6 {
+			t.Errorf("EM decreased likelihood at iter %d: %v -> %v",
+				i, fit.LogLikelihoods[i-1], fit.LogLikelihoods[i])
+		}
+	}
+	// The learned matrix must be a valid stochastic matrix.
+	if !fit.Model.trans.IsRowStochastic(1e-6) {
+		t.Error("learned transition matrix not row-stochastic")
+	}
+	// And inference with it must still work.
+	if _, _, err := fit.Model.Viterbi(obs); err != nil {
+		t.Errorf("Viterbi on fitted model: %v", err)
+	}
+}
+
+func TestFitTransitionsValidation(t *testing.T) {
+	m := testModel(t, 10)
+	obs := []Observation{obsFor(5, 1e6, 0), obsFor(5, 1e6, 1)}
+	if _, err := m.FitTransitions(obs, 0, 0.1); err == nil {
+		t.Error("iters=0 should error")
+	}
+	if _, err := m.FitTransitions(obs, 1, -1); err == nil {
+		t.Error("negative smoothing should error")
+	}
+	if _, err := m.FitTransitions(nil, 1, 0.1); err == nil {
+		t.Error("empty observations should error")
+	}
+	single := []Observation{obsFor(5, 1e6, 0)}
+	if _, err := m.FitTransitions(single, 1, 0.1); err == nil {
+		t.Error("single interval should error")
+	}
+}
+
+func TestFitTransitionsDoesNotMutateOriginal(t *testing.T) {
+	m := testModel(t, 10)
+	before := m.trans.Clone()
+	var obs []Observation
+	for i := 0; i < 8; i++ {
+		obs = append(obs, obsFor(5, 2e6, i))
+	}
+	if _, err := m.FitTransitions(obs, 3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Data {
+		if m.trans.Data[i] != before.Data[i] {
+			t.Fatal("FitTransitions mutated the original model")
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package hmm
+
+import (
+	"errors"
+	"math/rand"
+
+	"veritas/internal/mathx"
+)
+
+// Sample draws one GTBW state sequence from the posterior — the paper's
+// Algorithm 1 (Capacity Sampler). The last chunk's state is pinned to
+// the Viterbi maximum-likelihood state; every earlier chunk n is then
+// sampled backward from the pairwise posterior conditioned on the
+// already-sampled state of chunk n+1:
+//
+//	π_n(i) ∝ Γ_{i, C_{s_{n+1}}, n}.
+func (m *Model) Sample(rng *rand.Rand, post *Posterior, viterbi []int) ([]int, error) {
+	if post == nil || len(post.Gamma) == 0 {
+		return nil, errors.New("hmm: Sample requires a posterior")
+	}
+	N := len(post.Gamma)
+	if len(viterbi) != N {
+		return nil, errors.New("hmm: viterbi path length mismatch")
+	}
+	if len(post.Pair) != N-1 {
+		return nil, errors.New("hmm: pairwise posterior length mismatch")
+	}
+	ns := len(m.states)
+	out := make([]int, N)
+	out[N-1] = viterbi[N-1]
+	weights := make([]float64, ns)
+	for n := N - 2; n >= 0; n-- {
+		nextState := out[n+1]
+		var total float64
+		for i := 0; i < ns; i++ {
+			weights[i] = post.Pair[n][i][nextState]
+			total += weights[i]
+		}
+		if total <= 0 {
+			// The conditioned column is numerically empty (the sampled
+			// next state was reachable only via Viterbi ties); fall back
+			// to the marginal, which is always populated.
+			copy(weights, post.Gamma[n])
+		}
+		out[n] = mathx.SampleCategorical(rng, weights)
+	}
+	return out, nil
+}
+
+// SampleK draws k independent state sequences with a deterministic seed,
+// running Viterbi and forward–backward once and reusing them.
+func (m *Model) SampleK(obs []Observation, k int, seed int64) ([][]int, error) {
+	if k <= 0 {
+		return nil, errors.New("hmm: SampleK requires k > 0")
+	}
+	viterbi, _, err := m.Viterbi(obs)
+	if err != nil {
+		return nil, err
+	}
+	post, err := m.ForwardBackward(obs)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, k)
+	for s := 0; s < k; s++ {
+		seq, err := m.Sample(rng, post, viterbi)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = seq
+	}
+	return out, nil
+}
+
+// ExpectedCapacityAfter returns E[C_{t+gap} | C_t = state]: the mean of
+// the capacity grid under the gap-step transition distribution from the
+// given state. Veritas's interventional download-time predictor uses
+// this with the Viterbi state of the most recent chunk (paper §4.4).
+func (m *Model) ExpectedCapacityAfter(state, gap int) float64 {
+	if gap < 0 {
+		gap = 0
+	}
+	a := m.powCache.Pow(gap)
+	row := a.Row(state)
+	var e float64
+	for j, p := range row {
+		e += p * m.states[j]
+	}
+	return e
+}

@@ -1,0 +1,253 @@
+// Package mathx provides the small dense-matrix and numerical routines
+// that the Veritas EHMM needs: row-stochastic matrices, cached matrix
+// powers, log-domain helpers and Gaussian densities.
+//
+// All matrices are dense, row-major float64. Dimensions in Veritas are
+// tiny (the GTBW state space is typically 20-40 states), so clarity wins
+// over cache tricks.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("mathx: FromRows needs at least one non-empty row")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mathx: ragged rows: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mathx: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m × v as a new vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("mathx: dimension mismatch %dx%d × vec(%d)", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns vᵀ × m as a new vector (useful for forward recursions of
+// row-stochastic chains).
+func (m *Matrix) VecMul(v []float64) []float64 {
+	if m.Rows != len(v) {
+		panic(fmt.Sprintf("mathx: dimension mismatch vec(%d) × %dx%d", len(v), m.Rows, m.Cols))
+	}
+	out := make([]float64, m.Cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, rv := range row {
+			out[j] += vi * rv
+		}
+	}
+	return out
+}
+
+// Pow returns m^k for k ≥ 0 using exponentiation by squaring.
+// m must be square; m^0 is the identity.
+func (m *Matrix) Pow(k int) *Matrix {
+	if m.Rows != m.Cols {
+		panic("mathx: Pow requires a square matrix")
+	}
+	if k < 0 {
+		panic("mathx: Pow requires k >= 0")
+	}
+	result := Identity(m.Rows)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+// IsRowStochastic reports whether every row sums to 1 within tol and all
+// entries are non-negative.
+func (m *Matrix) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			if v < -tol {
+				return false
+			}
+			s += v
+		}
+		if math.Abs(s-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeRows scales each row to sum to 1. Rows that sum to zero become
+// uniform distributions.
+func (m *Matrix) NormalizeRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s == 0 {
+			u := 1 / float64(len(row))
+			for j := range row {
+				row[j] = u
+			}
+			continue
+		}
+		for j := range row {
+			row[j] /= s
+		}
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PowerCache memoizes powers of a fixed square matrix. The EHMM takes
+// powers A^Δn for the (small, repeating) set of inter-chunk gaps Δn, so a
+// map cache eliminates almost all of the multiplication work.
+type PowerCache struct {
+	base   *Matrix
+	powers map[int]*Matrix
+}
+
+// NewPowerCache returns a cache over base. The base matrix is cloned, so
+// later mutation of the argument does not corrupt cached results.
+func NewPowerCache(base *Matrix) *PowerCache {
+	if base.Rows != base.Cols {
+		panic("mathx: PowerCache requires a square matrix")
+	}
+	b := base.Clone()
+	return &PowerCache{
+		base:   b,
+		powers: map[int]*Matrix{0: Identity(b.Rows), 1: b},
+	}
+}
+
+// Pow returns base^k, computing and caching intermediate powers.
+func (c *PowerCache) Pow(k int) *Matrix {
+	if k < 0 {
+		panic("mathx: PowerCache.Pow requires k >= 0")
+	}
+	if m, ok := c.powers[k]; ok {
+		return m
+	}
+	// Build from the largest cached power below k; gaps in Veritas are
+	// small integers, so the simple walk is fine and keeps every
+	// intermediate power cached for future queries.
+	best := 0
+	for p := range c.powers {
+		if p <= k && p > best {
+			best = p
+		}
+	}
+	m := c.powers[best]
+	for p := best; p < k; p++ {
+		m = m.Mul(c.base)
+		c.powers[p+1] = m
+	}
+	return c.powers[k]
+}
+
+// Base returns a copy of the cached base matrix.
+func (c *PowerCache) Base() *Matrix { return c.base.Clone() }

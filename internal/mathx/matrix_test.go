@@ -1,0 +1,203 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("Identity(3)[%d][%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFromRowsValid(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows produced wrong layout: %v", m.Data)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("FromRows accepted ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("FromRows accepted empty input")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mul with mismatched dims did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.VecMul([]float64{1, 1})
+	if got[0] != 4 || got[1] != 6 {
+		t.Errorf("VecMul = %v, want [4 6]", got)
+	}
+}
+
+func TestPowZeroIsIdentity(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.5, 0.5}, {0.25, 0.75}})
+	p := a.Pow(0)
+	id := Identity(2)
+	for i := range p.Data {
+		if p.Data[i] != id.Data[i] {
+			t.Fatalf("Pow(0) != I: %v", p.Data)
+		}
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	direct := a.Clone()
+	for k := 2; k <= 6; k++ {
+		direct = direct.Mul(a)
+		pow := a.Pow(k)
+		for i := range pow.Data {
+			if math.Abs(pow.Data[i]-direct.Data[i]) > 1e-12 {
+				t.Fatalf("Pow(%d) differs from repeated Mul at %d: %v vs %v",
+					k, i, pow.Data[i], direct.Data[i])
+			}
+		}
+	}
+}
+
+func TestPowPreservesStochastic(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.7, 0.3, 0}, {0.15, 0.7, 0.15}, {0, 0.3, 0.7}})
+	for k := 0; k < 20; k++ {
+		if !a.Pow(k).IsRowStochastic(1e-9) {
+			t.Fatalf("A^%d is not row-stochastic", k)
+		}
+	}
+}
+
+func TestPowerCacheMatchesPow(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.7, 0.3}, {0.4, 0.6}})
+	c := NewPowerCache(a)
+	for _, k := range []int{0, 1, 5, 3, 17, 2, 17} {
+		got := c.Pow(k)
+		want := a.Pow(k)
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("PowerCache.Pow(%d) mismatch at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestPowerCacheIsolatedFromBaseMutation(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.7, 0.3}, {0.4, 0.6}})
+	c := NewPowerCache(a)
+	a.Set(0, 0, 99)
+	got := c.Pow(2).At(0, 0)
+	want := 0.7*0.7 + 0.3*0.4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PowerCache affected by base mutation: got %v want %v", got, want)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{2, 2}, {0, 0}})
+	m.NormalizeRows()
+	if m.At(0, 0) != 0.5 || m.At(0, 1) != 0.5 {
+		t.Errorf("row 0 not normalized: %v", m.Row(0))
+	}
+	if m.At(1, 0) != 0.5 || m.At(1, 1) != 0.5 {
+		t.Errorf("zero row should become uniform: %v", m.Row(1))
+	}
+}
+
+func TestQuickStochasticPowers(t *testing.T) {
+	// Property: any row-normalized positive matrix stays row-stochastic
+	// under powers.
+	f := func(a, b, c, d uint8) bool {
+		m, _ := FromRows([][]float64{
+			{float64(a) + 1, float64(b) + 1},
+			{float64(c) + 1, float64(d) + 1},
+		})
+		m.NormalizeRows()
+		return m.Pow(7).IsRowStochastic(1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	s := m.String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+	if lines := len([]rune(s)) > 0 && s[len(s)-1] == '\n'; !lines {
+		t.Error("String should end with newline")
+	}
+}
+
+func TestPowerCacheBase(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	c := NewPowerCache(a)
+	b := c.Base()
+	if b.At(0, 0) != 0.9 {
+		t.Error("Base() returned wrong matrix")
+	}
+	b.Set(0, 0, 99) // mutating the copy must not corrupt the cache
+	if c.Pow(1).At(0, 0) != 0.9 {
+		t.Error("Base() copy aliased the cache")
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) should panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}

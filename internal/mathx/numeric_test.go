@@ -1,0 +1,199 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExpBasic(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	want := math.Log(6)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("LogSumExp = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExpEmpty(t *testing.T) {
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+}
+
+func TestLogSumExpAllNegInf(t *testing.T) {
+	if !math.IsInf(LogSumExp([]float64{NegInf, NegInf}), -1) {
+		t.Error("LogSumExp of -Infs should be -Inf")
+	}
+}
+
+func TestLogSumExpExtreme(t *testing.T) {
+	// Would overflow naive exp.
+	got := LogSumExp([]float64{1000, 1000})
+	want := 1000 + math.Log(2)
+	if !AlmostEqual(got, want, 1e-9) {
+		t.Errorf("LogSumExp extreme = %v, want %v", got, want)
+	}
+}
+
+func TestLogAddMatchesLogSumExp(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		return AlmostEqual(LogAdd(a, b), LogSumExp([]float64{a, b}), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalLogPDFPeak(t *testing.T) {
+	// Density at the mean of a standard normal.
+	got := math.Exp(NormalLogPDF(0, 0, 1))
+	want := 1 / math.Sqrt(2*math.Pi)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("pdf(0;0,1) = %v, want %v", got, want)
+	}
+}
+
+func TestNormalLogPDFSymmetry(t *testing.T) {
+	a := NormalLogPDF(2, 5, 1.5)
+	b := NormalLogPDF(8, 5, 1.5)
+	if !AlmostEqual(a, b, 1e-12) {
+		t.Errorf("normal pdf not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestNormalLogPDFBadSigma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NormalLogPDF with sigma <= 0 did not panic")
+		}
+	}()
+	NormalLogPDF(0, 0, 0)
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 3}
+	Normalize(xs)
+	if xs[0] != 0.25 || xs[1] != 0.75 {
+		t.Errorf("Normalize = %v", xs)
+	}
+	zeros := []float64{0, 0, 0, 0}
+	Normalize(zeros)
+	for _, v := range zeros {
+		if v != 0.25 {
+			t.Errorf("Normalize zeros -> %v, want uniform", zeros)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	i, v := ArgMax([]float64{3, 9, 2, 9})
+	if i != 1 || v != 9 {
+		t.Errorf("ArgMax = (%d, %v), want (1, 9) with first-tie rule", i, v)
+	}
+}
+
+func TestSampleCategoricalDeterministicExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := SampleCategorical(rng, []float64{0, 0, 1, 0}); got != 2 {
+			t.Fatalf("SampleCategorical point mass drew %d", got)
+		}
+	}
+}
+
+func TestSampleCategoricalFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := []float64{1, 3}
+	counts := [2]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[SampleCategorical(rng, w)]++
+	}
+	frac := float64(counts[1]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("weight-3 arm frequency %v, want ~0.75", frac)
+	}
+}
+
+func TestSampleCategoricalAllZeroFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[SampleCategorical(rng, []float64{0, 0, 0})] = true
+	}
+	if len(seen) < 2 {
+		t.Error("all-zero weights should fall back to uniform, but draws were degenerate")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid integration over ±6σ.
+	var area float64
+	const dx = 0.01
+	for x := -6.0; x < 6; x += dx {
+		area += NormalPDF(x, 0, 1) * dx
+	}
+	if math.Abs(area-1) > 1e-3 {
+		t.Errorf("pdf integrates to %v", area)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(2, 4, 0) != 2 || Lerp(2, 4, 1) != 4 || Lerp(2, 4, 0.5) != 3 {
+		t.Error("Lerp wrong")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum([]float64{1, 2, 3.5}) != 6.5 {
+		t.Error("Sum wrong")
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) should be 0")
+	}
+}
+
+func TestAlmostEqualInfinities(t *testing.T) {
+	inf := math.Inf(1)
+	if !AlmostEqual(inf, inf, 0.1) {
+		t.Error("equal infinities should compare equal")
+	}
+	if AlmostEqual(inf, -inf, 0.1) {
+		t.Error("opposite infinities should not compare equal")
+	}
+	if AlmostEqual(inf, 5, 1e18) {
+		t.Error("inf vs finite should not compare equal")
+	}
+}
+
+func TestSampleUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := SampleUniformRange(rng, 2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("sample %v outside [2, 5)", v)
+		}
+	}
+}

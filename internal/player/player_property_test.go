@@ -1,0 +1,140 @@
+package player
+
+import (
+	"testing"
+	"testing/quick"
+
+	"veritas/internal/abr"
+	"veritas/internal/netem"
+	"veritas/internal/trace"
+	"veritas/internal/video"
+)
+
+// TestQuickSessionInvariants drives short sessions across random
+// bandwidths, buffer caps and ABR algorithms and checks the invariants
+// every session must satisfy regardless of configuration.
+func TestQuickSessionInvariants(t *testing.T) {
+	vid := video.MustSynthesize(func() video.Config {
+		c := video.DefaultConfig(1)
+		c.NumChunks = 30
+		return c
+	}())
+
+	f := func(bwRaw, bufRaw, algRaw, seedRaw uint8) bool {
+		bw := 0.5 + float64(bwRaw%80)*0.1 // 0.5 .. 8.4 Mbps
+		buf := 4 + float64(bufRaw%26)     // 4 .. 29 s
+		var alg abr.Algorithm
+		switch algRaw % 4 {
+		case 0:
+			alg = abr.NewMPC()
+		case 1:
+			alg = abr.NewBBA()
+		case 2:
+			alg = abr.NewBOLA()
+		default:
+			alg = abr.NewRandom(int64(seedRaw))
+		}
+		log, m, err := Run(Config{
+			Video:     vid,
+			ABR:       alg,
+			Trace:     trace.Constant(bw),
+			Net:       netem.Config{RTT: 0.160, SlowStartRestart: true, JitterStd: 0.05, Seed: int64(seedRaw)},
+			BufferCap: buf,
+		})
+		if err != nil {
+			return false
+		}
+		// Invariant: all chunks downloaded, in causal order.
+		if len(log.Records) != vid.NumChunks() {
+			return false
+		}
+		prevEnd := 0.0
+		for _, r := range log.Records {
+			if r.Start < prevEnd || r.End <= r.Start {
+				return false
+			}
+			prevEnd = r.End
+		}
+		// Invariant: metrics in their domains.
+		if m.RebufRatio < 0 || m.RebufRatio >= 1 {
+			return false
+		}
+		if m.AvgSSIM <= 0 || m.AvgSSIM > 1 {
+			return false
+		}
+		if m.AvgBitrateMbps <= 0 {
+			return false
+		}
+		// Invariant: session wall-clock covers at least the total
+		// download time.
+		if m.SessionSeconds <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSessionStalledBandwidthSurfacesError injects a trace that dies
+// mid-session and checks the failure is reported, not swallowed.
+func TestSessionStalledBandwidthSurfacesError(t *testing.T) {
+	tr, err := trace.New([]trace.Point{{T: 0, Mbps: 5}, {T: 30, Mbps: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Run(Config{
+		Video:     video.MustSynthesize(video.DefaultConfig(1)),
+		ABR:       abr.NewMPC(),
+		Trace:     tr,
+		Net:       netem.Config{RTT: 0.160, SlowStartRestart: true},
+		BufferCap: 5,
+	})
+	if err == nil {
+		t.Fatal("session over a dying link should fail")
+	}
+}
+
+// TestQuickRebufferAccounting checks that rebuffer seconds equal the
+// sum of per-chunk stalls for arbitrary fixed-quality sessions.
+func TestQuickRebufferAccounting(t *testing.T) {
+	vid := video.MustSynthesize(func() video.Config {
+		c := video.DefaultConfig(2)
+		c.NumChunks = 25
+		return c
+	}())
+	f := func(qRaw, bwRaw uint8) bool {
+		q := int(qRaw) % vid.NumQualities()
+		bw := 0.3 + float64(bwRaw%50)*0.1
+		log, m, err := Run(Config{
+			Video:     vid,
+			ABR:       &abr.Fixed{Quality: q},
+			Trace:     trace.Constant(bw),
+			Net:       netem.Config{RTT: 0.160, SlowStartRestart: true},
+			BufferCap: 5,
+		})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, r := range log.Records {
+			if r.RebufSeconds < 0 {
+				return false
+			}
+			sum += r.RebufSeconds
+		}
+		return almostEqual(sum, m.RebufSeconds, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

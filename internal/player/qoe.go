@@ -1,0 +1,41 @@
+package player
+
+import "math"
+
+// QoEWeights parameterizes the linear quality-of-experience score the
+// MPC paper (and much of the ABR literature) optimizes:
+//
+//	QoE = Σ bitrate_n − Rebuf·stall_n − Smooth·|bitrate_n − bitrate_{n−1}|
+//
+// normalized per chunk. It complements the SSIM/rebuffering metrics the
+// paper reports, and lets what-if answers be compared on the objective
+// the deployed algorithm actually optimized.
+type QoEWeights struct {
+	// Rebuf is the penalty per second of stall, in Mbps-equivalent
+	// units (MPC's QoE-lin uses 4.3).
+	Rebuf float64
+	// Smooth scales the |Δbitrate| switching penalty (MPC uses 1).
+	Smooth float64
+}
+
+// DefaultQoEWeights returns the MPC paper's QoE-lin coefficients.
+func DefaultQoEWeights() QoEWeights { return QoEWeights{Rebuf: 4.3, Smooth: 1} }
+
+// QoE computes the per-chunk-average linear QoE of a session log.
+// Returns 0 for an empty log.
+func QoE(log *SessionLog, w QoEWeights) float64 {
+	if log == nil || len(log.Records) == 0 {
+		return 0
+	}
+	var total float64
+	prev := -1.0
+	for _, r := range log.Records {
+		total += r.BitrateMbps
+		total -= w.Rebuf * r.RebufSeconds
+		if prev >= 0 {
+			total -= w.Smooth * math.Abs(r.BitrateMbps-prev)
+		}
+		prev = r.BitrateMbps
+	}
+	return total / float64(len(log.Records))
+}

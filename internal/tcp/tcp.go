@@ -1,0 +1,201 @@
+// Package tcp models the transport-level control variables Veritas
+// conditions on: the TCP state observed at the start of each chunk
+// download (the fields of Linux's tcp_info that the paper logs) and the
+// throughput estimator f (paper Algorithm 4) that predicts the throughput
+// a download of a given size would observe for a candidate ground-truth
+// bandwidth.
+package tcp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// MSS is the maximum segment size in bytes (1500 MTU minus headers),
+	// the unit in which cwnd and ssthresh are counted.
+	MSS = 1448
+
+	// InitCWND is the Linux default initial congestion window in
+	// segments (RFC 6928).
+	InitCWND = 10
+
+	// DefaultSSThresh mirrors Linux's effectively-unbounded initial slow
+	// start threshold.
+	DefaultSSThresh = 1 << 20
+)
+
+// State is the TCP state at the start of a chunk download — the control
+// variables W_sn of the paper (cwnd, ssthresh, rto, RTT estimates, and
+// the gap since the last send, which determines slow-start restart).
+type State struct {
+	CWND        float64 // congestion window, in segments
+	SSThresh    float64 // slow start threshold, in segments
+	MinRTT      float64 // minimum observed round-trip time, seconds
+	RTT         float64 // smoothed round-trip time, seconds
+	RTO         float64 // retransmission timeout, seconds
+	LastSendGap float64 // seconds since data was last transmitted
+}
+
+// Fresh returns the state of a brand-new connection with the given
+// round-trip time.
+func Fresh(rtt float64) State {
+	return State{
+		CWND:        InitCWND,
+		SSThresh:    DefaultSSThresh,
+		MinRTT:      rtt,
+		RTT:         rtt,
+		RTO:         RTOFor(rtt),
+		LastSendGap: 0,
+	}
+}
+
+// RTOFor returns the retransmission timeout Linux would derive from a
+// smoothed RTT with negligible variance: max(200ms, 2*rtt) approximates
+// srtt + 4*rttvar with the kernel's 200 ms floor on the variance term.
+func RTOFor(rtt float64) float64 {
+	rto := 2 * rtt
+	if rto < 0.2 {
+		rto = 0.2
+	}
+	return rto
+}
+
+// Validate reports the first invalid field, if any.
+func (s State) Validate() error {
+	switch {
+	case s.CWND < 1:
+		return fmt.Errorf("tcp: cwnd %v < 1 segment", s.CWND)
+	case s.SSThresh < 1:
+		return fmt.Errorf("tcp: ssthresh %v < 1 segment", s.SSThresh)
+	case s.MinRTT <= 0:
+		return fmt.Errorf("tcp: min rtt %v <= 0", s.MinRTT)
+	case s.RTO <= 0:
+		return fmt.Errorf("tcp: rto %v <= 0", s.RTO)
+	case s.LastSendGap < 0:
+		return fmt.Errorf("tcp: last send gap %v < 0", s.LastSendGap)
+	}
+	return nil
+}
+
+// Segments returns the number of MSS-sized segments needed for a payload
+// of the given size in bytes (at least 1 for any positive size).
+func Segments(bytes float64) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return int(math.Ceil(bytes / MSS))
+}
+
+// BDPSegments returns the bandwidth-delay product of a link running at
+// gtbw Mbps with the given RTT, expressed in segments (at least 1 so that
+// transmission always makes progress).
+func BDPSegments(gtbwMbps, rtt float64) int {
+	bytes := gtbwMbps * 1e6 / 8 * rtt
+	seg := int(bytes / MSS)
+	if seg < 1 {
+		seg = 1
+	}
+	return seg
+}
+
+// ApplySlowStartRestart returns the state after Linux's congestion-window
+// validation (RFC 2861): when the connection has been idle longer than
+// the RTO, cwnd is halved once per elapsed RTO down to the initial
+// window, and ssthresh is raised to 3/4 of the pre-decay cwnd.
+//
+// Note: the paper's Algorithm 4 as printed grows cwnd during restart
+// ("cwnd << 2"), which contradicts the Linux behaviour it cites; we
+// implement the kernel's tcp_cwnd_restart semantics (see DESIGN.md §3).
+func ApplySlowStartRestart(s State) State {
+	if s.LastSendGap <= s.RTO {
+		return s
+	}
+	// ssthresh = max(ssthresh, 3/4 cwnd) — matches the paper's
+	// (cwnd>>1)+(cwnd>>2) update.
+	restartThresh := 0.75 * s.CWND
+	if restartThresh > s.SSThresh {
+		s.SSThresh = restartThresh
+	}
+	idle := s.LastSendGap
+	for idle > s.RTO && s.CWND > InitCWND {
+		idle -= s.RTO
+		s.CWND /= 2
+	}
+	if s.CWND < InitCWND {
+		s.CWND = InitCWND
+	}
+	return s
+}
+
+// EstimateThroughput is the paper's estimator f (Algorithm 4): the
+// throughput in Mbps that a download of sizeBytes would observe on a link
+// whose ground-truth bandwidth is gtbwMbps, starting from TCP state s.
+//
+// The model: after applying slow-start restart, transmission proceeds in
+// rounds of one MinRTT each; a round carries min(cwnd, BDP) segments;
+// cwnd doubles below ssthresh and grows by one segment per round above
+// it. Losses are not modeled. If the first window already covers the
+// whole payload the transfer takes a single RTT.
+func EstimateThroughput(gtbwMbps float64, s State, sizeBytes float64) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	if gtbwMbps <= 0 {
+		return 0
+	}
+	s = ApplySlowStartRestart(s)
+
+	dataSeg := Segments(sizeBytes)
+	bdpSeg := BDPSegments(gtbwMbps, s.MinRTT)
+
+	if int(s.CWND) >= bdpSeg {
+		// The window is no constraint: either the transfer is long enough
+		// to observe the full link rate, or it fits in one flight and the
+		// observed throughput is size over one RTT.
+		if dataSeg > bdpSeg {
+			return gtbwMbps
+		}
+		return bytesPerSecToMbps(sizeBytes / s.MinRTT)
+	}
+
+	rounds := 0
+	sent := 0
+	cwnd := s.CWND
+	for sent < dataSeg {
+		flight := math.Min(cwnd, float64(bdpSeg))
+		sent += int(flight)
+		if flight < 1 {
+			sent++ // defensive: guarantee progress
+		}
+		if cwnd < s.SSThresh {
+			cwnd *= 2
+		} else {
+			cwnd++
+		}
+		rounds++
+	}
+	est := bytesPerSecToMbps(sizeBytes / (float64(rounds) * s.MinRTT))
+	return math.Min(est, gtbwMbps)
+}
+
+// EstimateDownloadTime converts EstimateThroughput into a predicted
+// download duration in seconds for the given chunk size.
+func EstimateDownloadTime(gtbwMbps float64, s State, sizeBytes float64) float64 {
+	tput := EstimateThroughput(gtbwMbps, s, sizeBytes)
+	if tput <= 0 {
+		return math.Inf(1)
+	}
+	return sizeBytes * 8 / (tput * 1e6)
+}
+
+func bytesPerSecToMbps(bps float64) float64 { return bps * 8 / 1e6 }
+
+// Mbps converts a (bytes, seconds) observation into the throughput in
+// Mbps, the Y_n = S_n/D_n observable of the paper.
+func Mbps(bytes, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return bytes * 8 / 1e6 / seconds
+}

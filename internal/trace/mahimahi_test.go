@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMahimahiRoundTripConstant(t *testing.T) {
+	tr := Constant(6)
+	var buf bytes.Buffer
+	if err := tr.EncodeMahimahi(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMahimahi(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every full bucket should reconstruct ~6 Mbps.
+	for _, p := range got.Points() {
+		if math.Abs(p.Mbps-6) > 0.1 {
+			t.Errorf("bucket at %v reconstructed %v Mbps, want ~6", p.T, p.Mbps)
+		}
+	}
+}
+
+func TestMahimahiRoundTripSteps(t *testing.T) {
+	tr, err := FromSteps(10, []float64{2, 8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeMahimahi(&buf, 30); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMahimahi(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 8, 4}
+	pts := got.Points()
+	if len(pts) != 3 {
+		t.Fatalf("reconstructed %d buckets, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if math.Abs(p.Mbps-want[i]) > 0.15 {
+			t.Errorf("bucket %d: %v Mbps, want ~%v", i, p.Mbps, want[i])
+		}
+	}
+}
+
+func TestMahimahiTimestampsMonotone(t *testing.T) {
+	tr, _ := FromSteps(5, []float64{1, 20, 0.3, 20})
+	var buf bytes.Buffer
+	if err := tr.EncodeMahimahi(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(buf.String())
+	if len(lines) == 0 {
+		t.Fatal("no delivery opportunities emitted")
+	}
+	prev := -1
+	for _, l := range lines {
+		ms, err := strconv.Atoi(l)
+		if err != nil {
+			t.Fatalf("bad line %q", l)
+		}
+		if ms < prev {
+			t.Fatalf("timestamps decreased: %d after %d", ms, prev)
+		}
+		prev = ms
+	}
+}
+
+func TestMahimahiZeroBandwidthSpans(t *testing.T) {
+	tr, _ := FromSteps(10, []float64{0, 5})
+	var buf bytes.Buffer
+	if err := tr.EncodeMahimahi(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMahimahi(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(5) > 0.2 {
+		t.Errorf("zero span reconstructed as %v Mbps", got.At(5))
+	}
+	if math.Abs(got.At(15)-5) > 0.2 {
+		t.Errorf("5 Mbps span reconstructed as %v", got.At(15))
+	}
+}
+
+func TestMahimahiDecodeErrors(t *testing.T) {
+	if _, err := DecodeMahimahi(bytes.NewBufferString(""), 5); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := DecodeMahimahi(bytes.NewBufferString("abc\n"), 5); err == nil {
+		t.Error("non-numeric input should fail")
+	}
+	if _, err := DecodeMahimahi(bytes.NewBufferString("-5\n"), 5); err == nil {
+		t.Error("negative timestamp should fail")
+	}
+	if _, err := DecodeMahimahi(bytes.NewBufferString("100\n"), 5); err == nil {
+		t.Error("sub-bucket trace should fail")
+	}
+	if _, err := DecodeMahimahi(bytes.NewBufferString("100\n"), 0); err == nil {
+		t.Error("zero bucket should fail")
+	}
+}
+
+func TestMahimahiEncodeValidation(t *testing.T) {
+	tr := Constant(5)
+	var buf bytes.Buffer
+	if err := tr.EncodeMahimahi(&buf, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestQuickMahimahiRateRecovery(t *testing.T) {
+	// Property: encoding a constant rate and decoding recovers the rate
+	// within quantization error for any rate in a sane range.
+	f := func(raw uint8) bool {
+		rate := 0.5 + float64(raw%64)*0.25 // 0.5 .. 16.25 Mbps
+		var buf bytes.Buffer
+		if err := Constant(rate).EncodeMahimahi(&buf, 40); err != nil {
+			return false
+		}
+		got, err := DecodeMahimahi(&buf, 10)
+		if err != nil {
+			return false
+		}
+		for _, p := range got.Points() {
+			if math.Abs(p.Mbps-rate) > 0.15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
