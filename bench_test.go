@@ -10,6 +10,7 @@ package veritas
 // inference, a full session simulation, and a full abduction).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -139,3 +140,63 @@ func BenchmarkAbductionScaling(b *testing.B) {
 
 // BenchmarkExtSquareWave covers the square-wave extension experiment.
 func BenchmarkExtSquareWave(b *testing.B) { benchFigure(b, "ext-square") }
+
+// fleetBenchSetup builds the benchmark campaign: a 32-session
+// scenario-diverse corpus (4 regimes × 8 sessions) with one what-if
+// arm — the acceptance workload for engine throughput scaling.
+func fleetBenchSetup(b *testing.B) ([]FleetSpec, []FleetArm) {
+	b.Helper()
+	ccfg := CorpusConfig{SessionsPer: 8, NumChunks: 60, Seed: 1}
+	corpus, err := BuildCorpus(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arms, err := FleetMatrix(ccfg, []string{"bba"}, []float64{5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return corpus, arms
+}
+
+// BenchmarkFleet measures batch causal-query throughput across worker
+// counts. On multicore hardware throughput scales near-linearly until
+// the core count; aggregates are byte-identical at every worker count
+// (see engine.TestDeterministicAcrossWorkerCounts).
+func BenchmarkFleet(b *testing.B) {
+	corpus, arms := fleetBenchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := FleetConfig{Workers: workers, Samples: 3, Seed: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunFleet(context.Background(), cfg, corpus, arms); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(corpus))*float64(b.N)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
+}
+
+// BenchmarkFleetCache isolates the emission-memoization win: the same
+// single-worker fleet with the cache on and off.
+func BenchmarkFleetCache(b *testing.B) {
+	corpus, arms := fleetBenchSetup(b)
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run("cache="+name, func(b *testing.B) {
+			cfg := FleetConfig{Workers: 1, Samples: 3, Seed: 1, DisableCache: disable}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunFleet(context.Background(), cfg, corpus, arms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

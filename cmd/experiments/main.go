@@ -4,6 +4,8 @@
 //
 //	experiments -run fig9              # one figure at paper scale
 //	experiments -run all -scale quick  # everything, reduced scale
+//	experiments -run fig9 -workers 8   # batch figures on 8 engine workers
+//	experiments -run fig9 -scenario lte # LTE-like counterfactual traces
 //	experiments -list
 package main
 
@@ -18,10 +20,12 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "experiment id (fig2a, fig5, fig7, ... or 'all')")
-		scale  = flag.String("scale", "paper", "'paper' (full size) or 'quick'")
-		format = flag.String("format", "text", "output format: text, csv or json")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "all", "experiment id (fig2a, fig5, fig7, ... or 'all')")
+		scale    = flag.String("scale", "paper", "'paper' (full size) or 'quick'")
+		format   = flag.String("format", "text", "output format: text, csv or json")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		workers  = flag.Int("workers", 0, "fleet-engine worker pool size (0 = GOMAXPROCS)")
+		scenario = flag.String("scenario", "", "bandwidth regime for the counterfactual trace set: fcc, lte or wifi (default fcc)")
 	)
 	flag.Parse()
 
@@ -41,6 +45,12 @@ func main() {
 		s = experiments.QuickScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want 'paper' or 'quick')\n", *scale)
+		os.Exit(2)
+	}
+	s.Workers = *workers
+	s.Scenario = *scenario
+	if err := s.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,123 @@
+// Command fleet runs a batch causal-query campaign: it generates a
+// scenario-diverse corpus of streaming sessions (FCC-, LTE-, WiFi-like
+// and square-wave bandwidth regimes), runs an ABR × buffer-size what-if
+// matrix over every session on the concurrent fleet engine, and prints
+// an aggregate report (per-arm metric summaries, truth coverage, cache
+// and throughput statistics).
+//
+// Usage:
+//
+//	fleet                                   # default campaign: 4 scenarios x 8 sessions, bba/bola x 5s/30s
+//	fleet -workers 8 -sessions 25           # 100 sessions on 8 workers
+//	fleet -scenarios lte,wifi -abrs bba -buffers 5
+//	fleet -chunks 300 -samples 5 -seed 7    # paper-scale sessions
+//
+// Interrupting with Ctrl-C cancels the fleet promptly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"veritas"
+)
+
+func main() {
+	var (
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		sessions  = flag.Int("sessions", 8, "sessions per scenario")
+		scenarios = flag.String("scenarios", "", "comma-separated scenarios (default: all of "+strings.Join(veritas.FleetScenarios(), ",")+")")
+		chunks    = flag.Int("chunks", 120, "chunks per session (0 = full 10-min clip)")
+		samples   = flag.Int("samples", 5, "Veritas posterior samples K")
+		seed      = flag.Int64("seed", 1, "base seed for the whole campaign")
+		buffer    = flag.Float64("buffer", 5, "deployed (Setting A) buffer size, seconds")
+		abrs      = flag.String("abrs", "bba,bola", "comma-separated what-if ABRs ("+strings.Join(veritas.FleetABRs(), ",")+")")
+		buffers   = flag.String("buffers", "5,30", "comma-separated what-if buffer sizes, seconds")
+		nocache   = flag.Bool("nocache", false, "disable the emission memoization cache")
+		progress  = flag.Bool("progress", false, "print per-session completions to stderr")
+	)
+	flag.Parse()
+
+	ccfg := veritas.CorpusConfig{
+		Scenarios:   splitCSV(*scenarios),
+		SessionsPer: *sessions,
+		NumChunks:   *chunks,
+		BufferCap:   *buffer,
+		Seed:        *seed,
+	}
+	corpus, err := veritas.BuildCorpus(ccfg)
+	if err != nil {
+		fatal(err)
+	}
+	bufVals, err := parseFloats(*buffers)
+	if err != nil {
+		fatal(fmt.Errorf("-buffers: %w", err))
+	}
+	arms, err := veritas.FleetMatrix(ccfg, splitCSV(*abrs), bufVals)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fcfg := veritas.FleetConfig{
+		Workers:      *workers,
+		Samples:      *samples,
+		Seed:         *seed,
+		DisableCache: *nocache,
+	}
+	if *progress {
+		total := len(corpus)
+		fcfg.OnResult = func(r veritas.FleetSessionResult) {
+			fmt.Fprintf(os.Stderr, "done %s (%d arms)   [corpus of %d]\n", r.ID, len(r.Arms), total)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fleet: %d sessions x %d arms, %d posterior samples\n",
+		len(corpus), len(arms), *samples)
+
+	res, err := veritas.RunFleet(ctx, fcfg, corpus, arms)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func splitCSV(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitCSV(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleet:", err)
+	os.Exit(1)
+}

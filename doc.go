@@ -21,6 +21,10 @@
 //     hypothetical next chunks.
 //   - Baseline and Oracle provide the comparison estimators the paper
 //     evaluates against.
+//   - RunFleet batches all of the above over a corpus of sessions on
+//     the concurrent fleet engine (internal/engine): sharded workers,
+//     per-session emission memoization, and a streaming aggregator
+//     whose results are identical for every worker count.
 //
 // Everything the pipeline needs is included: a bandwidth-trace
 // substrate with an FCC-like generator, a TCP/network emulator standing
@@ -36,7 +40,7 @@
 //	})
 //	abd, _ := veritas.Abduct(sess.Log, veritas.AbductionConfig{})
 //	outcome, _ := veritas.Counterfactual(abd, veritas.WhatIf{
-//		ABR:       veritas.NewBBA,
+//		NewABR:    veritas.NewBBA,
 //		BufferCap: 5,
 //	})
 //	fmt.Println(outcome.SSIMRange())

@@ -1,0 +1,88 @@
+package veritas
+
+// Facade-level coverage of the fleet layer. The engine's own contract
+// (worker-count determinism, cache accounting, cancellation) is tested
+// exhaustively in internal/engine; these tests pin the public surface.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunFleetFacade(t *testing.T) {
+	ccfg := CorpusConfig{SessionsPer: 1, NumChunks: 30, Seed: 1}
+	corpus, err := BuildCorpus(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != len(FleetScenarios()) {
+		t.Fatalf("corpus has %d sessions, want one per scenario (%d)", len(corpus), len(FleetScenarios()))
+	}
+	arms, err := FleetMatrix(ccfg, []string{"bba", "mpc"}, []float64{5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 4 {
+		t.Fatalf("matrix has %d arms, want 4", len(arms))
+	}
+
+	res, err := RunFleet(context.Background(), FleetConfig{Workers: 2, Samples: 2, Seed: 1}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != len(corpus) {
+		t.Fatalf("got %d session results, want %d", len(res.Sessions), len(corpus))
+	}
+	for _, s := range res.Sessions {
+		if len(s.Arms) != len(arms) {
+			t.Errorf("%s: %d arm outcomes, want %d", s.ID, len(s.Arms), len(arms))
+		}
+		for _, oc := range s.Arms {
+			if !oc.HasTruth {
+				t.Errorf("%s/%s: synthetic corpus should have oracle outcomes", s.ID, oc.Name)
+			}
+			if len(oc.Samples) != 2 {
+				t.Errorf("%s/%s: %d samples, want 2", s.ID, oc.Name, len(oc.Samples))
+			}
+		}
+	}
+	if res.Cache.HitRate() < 0.7 {
+		t.Errorf("cache hit rate %.2f, want >= 0.7", res.Cache.HitRate())
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []string{"bba-5s", "bba-30s", "mpc-5s", "mpc-30s"} {
+		if !strings.Contains(sb.String(), "arm: "+arm) {
+			t.Errorf("report missing arm %s", arm)
+		}
+	}
+}
+
+func TestNewFleetArm(t *testing.T) {
+	arm, err := NewFleetArm("bba", WhatIf{NewABR: NewBBA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm.Name != "bba" || arm.Setting.Video == nil || arm.Setting.BufferCap != 5 {
+		t.Errorf("arm not defaulted: %+v", arm)
+	}
+	if _, err := NewFleetArm("bad", WhatIf{}); err == nil {
+		t.Error("WhatIf without ABR should error")
+	}
+}
+
+func TestFleetMatrixValidation(t *testing.T) {
+	ccfg := CorpusConfig{NumChunks: 30}
+	if _, err := FleetMatrix(ccfg, nil, []float64{5}); err == nil {
+		t.Error("empty ABR list should error")
+	}
+	if _, err := FleetMatrix(ccfg, []string{"vhs"}, []float64{5}); err == nil {
+		t.Error("unknown ABR should error")
+	}
+	if _, err := FleetMatrix(ccfg, []string{"bba"}, []float64{-1}); err == nil {
+		t.Error("negative buffer should error")
+	}
+}

@@ -1,0 +1,3 @@
+module veritas
+
+go 1.22

@@ -47,12 +47,15 @@ func (c Config) withDefaults(maxObservedMbps float64) Config {
 	if c.HMM.MaxMbps == 0 {
 		// Headroom: the latent GTBW can exceed every observation when
 		// all chunks were below the BDP. 1.5× the max observation,
-		// floored at 10 Mbps, covers the paper's regimes.
+		// floored at 10 Mbps, covers the paper's regimes. A caller-set
+		// estimator hook survives the default grid sizing.
 		max := maxObservedMbps * 1.5
 		if max < 10 {
 			max = 10
 		}
+		est := c.HMM.Estimator
 		c.HMM = hmm.DefaultConfig(max)
+		c.HMM.Estimator = est
 	}
 	if c.NumSamples == 0 {
 		c.NumSamples = 5

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"sync"
+
+	"veritas/internal/abduction"
+	"veritas/internal/player"
+	"veritas/internal/stats"
+)
+
+// ArmEstimator selects which of the paper's estimators a fleet
+// aggregate is computed over.
+type ArmEstimator string
+
+const (
+	// EstTruth is the oracle replay over the ground-truth trace.
+	EstTruth ArmEstimator = "truth"
+	// EstBaseline is the replay over the Baseline throughput estimate.
+	EstBaseline ArmEstimator = "baseline"
+	// EstVeritasLow / EstVeritasHigh are the paper's reported range
+	// (second-lowest and second-highest posterior sample outcome).
+	EstVeritasLow  ArmEstimator = "veritas-low"
+	EstVeritasHigh ArmEstimator = "veritas-high"
+	// EstVeritasMid is the midpoint of the Veritas range, the point
+	// estimate used for error comparisons.
+	EstVeritasMid ArmEstimator = "veritas-mid"
+)
+
+// Summary is a fleet-level description of one metric series.
+type Summary struct {
+	N                                 int
+	Mean                              float64
+	Min, P10, P25, P50, P75, P90, Max float64
+}
+
+// Summarize computes a Summary over vals; the zero Summary for empty
+// input.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(vals),
+		Mean: stats.Mean(vals),
+		Min:  stats.Min(vals),
+		P10:  stats.Percentile(vals, 10),
+		P25:  stats.Percentile(vals, 25),
+		P50:  stats.Percentile(vals, 50),
+		P75:  stats.Percentile(vals, 75),
+		P90:  stats.Percentile(vals, 90),
+		Max:  stats.Max(vals),
+	}
+}
+
+// Aggregator collects streamed per-session results and serves fleet
+// aggregates. Add is safe to call from worker goroutines; every
+// read-side method computes over sessions in corpus order, so the
+// aggregates are byte-identical no matter how many workers ran or in
+// what order results arrived.
+type Aggregator struct {
+	mu       sync.Mutex
+	sessions []*SessionResult // indexed by SessionResult.Index
+}
+
+// NewAggregator returns an aggregator for a corpus of n sessions.
+func NewAggregator(n int) *Aggregator {
+	return &Aggregator{sessions: make([]*SessionResult, n)}
+}
+
+// Add records one completed session.
+func (a *Aggregator) Add(r SessionResult) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r.Index >= 0 && r.Index < len(a.sessions) {
+		cp := r
+		a.sessions[r.Index] = &cp
+	}
+}
+
+// Completed returns the number of sessions recorded so far.
+func (a *Aggregator) Completed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n int
+	for _, s := range a.sessions {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot returns the recorded sessions in corpus order.
+func (a *Aggregator) snapshot() []*SessionResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*SessionResult, 0, len(a.sessions))
+	for _, s := range a.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func armValue(oc ArmOutcome, est ArmEstimator, f abduction.MetricFn) (float64, bool) {
+	switch est {
+	case EstTruth:
+		if !oc.HasTruth {
+			return 0, false
+		}
+		return f(oc.Truth), true
+	case EstBaseline:
+		return f(oc.Baseline), true
+	case EstVeritasLow:
+		lo, _ := abduction.VeritasRange(oc.Samples, f)
+		return lo, true
+	case EstVeritasHigh:
+		_, hi := abduction.VeritasRange(oc.Samples, f)
+		return hi, true
+	case EstVeritasMid:
+		lo, hi := abduction.VeritasRange(oc.Samples, f)
+		return (lo + hi) / 2, true
+	}
+	return 0, false
+}
+
+// Series returns the per-session values of metric f under the given
+// estimator for one arm, in corpus order. Sessions missing the arm (or
+// the ground truth, for EstTruth) are skipped.
+func (a *Aggregator) Series(arm string, est ArmEstimator, f abduction.MetricFn) []float64 {
+	var out []float64
+	for _, s := range a.snapshot() {
+		for _, oc := range s.Arms {
+			if oc.Name != arm {
+				continue
+			}
+			if v, ok := armValue(oc, est, f); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// SettingASeries returns metric f of the deployed (Setting A) sessions,
+// in corpus order, skipping sessions built from pre-recorded logs.
+func (a *Aggregator) SettingASeries(f abduction.MetricFn) []float64 {
+	var out []float64
+	for _, s := range a.snapshot() {
+		if s.Log != nil && s.SettingA != (player.Metrics{}) {
+			out = append(out, f(s.SettingA))
+		}
+	}
+	return out
+}
+
+// Predictions returns every interventional prediction in corpus order.
+func (a *Aggregator) Predictions() []float64 {
+	var out []float64
+	for _, s := range a.snapshot() {
+		out = append(out, s.Predictions...)
+	}
+	return out
+}
+
+// Summary summarizes metric f under the estimator for one arm.
+func (a *Aggregator) Summary(arm string, est ArmEstimator, f abduction.MetricFn) Summary {
+	return Summarize(a.Series(arm, est, f))
+}
+
+// CDF returns the empirical CDF of metric f under the estimator.
+func (a *Aggregator) CDF(arm string, est ArmEstimator, f abduction.MetricFn) []stats.CDFPoint {
+	return stats.CDF(a.Series(arm, est, f))
+}
+
+// Coverage returns the fraction of sessions whose oracle outcome lies
+// inside [VeritasLow − slack, VeritasHigh + slack] for metric f.
+func (a *Aggregator) Coverage(arm string, f abduction.MetricFn, slack float64) float64 {
+	var n, covered int
+	for _, s := range a.snapshot() {
+		for _, oc := range s.Arms {
+			if oc.Name != arm || !oc.HasTruth {
+				continue
+			}
+			lo, hi := abduction.VeritasRange(oc.Samples, f)
+			t := f(oc.Truth)
+			n++
+			if t >= lo-slack && t <= hi+slack {
+				covered++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(covered) / float64(n)
+}

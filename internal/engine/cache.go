@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"sort"
+
+	"veritas/internal/tcp"
+)
+
+// CacheStats counts emission-memoization cache activity.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Lookups returns the total number of estimator calls seen.
+func (c CacheStats) Lookups() uint64 { return c.Hits + c.Misses }
+
+// HitRate returns Hits / Lookups, or 0 when the cache saw no traffic.
+func (c CacheStats) HitRate() float64 {
+	n := c.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(n)
+}
+
+// chunkKey identifies a chunk's fixed estimator inputs: the TCP state
+// logged at its start and its size. The remaining input — the candidate
+// GTBW — varies along the capacity grid within a row.
+type chunkKey struct {
+	cwnd     float64
+	ssthresh float64
+	minRTT   float64
+	rtt      float64
+	rto      float64
+	gap      float64
+	size     float64
+}
+
+// estRow caches one chunk's emission row: f(c, W, S) for every grid
+// capacity c, kept sorted by capacity. cursor tracks the sequential
+// scan position so repeat passes cost one comparison per call.
+type estRow struct {
+	gtbws  []float64 // ascending
+	vals   []float64
+	cursor int
+}
+
+// estimatorCache memoizes tcp.EstimateThroughput for one session's
+// abduction. One abduction evaluates the emission table four times
+// (Viterbi + forward–backward, each run directly and again inside
+// SampleK) over identical (state, chunk) pairs, so roughly three of
+// every four calls hit.
+//
+// f is pure, so equal inputs always give equal outputs and memoization
+// cannot change any inference result. The layout exploits the table's
+// access pattern instead of hashing the full argument tuple per call:
+// the chunk loop is outer and the capacity loop inner and ascending, so
+// the cache resolves the chunk row once per key change (struct
+// equality, no hashing) and serves in-row lookups from a cursor, with a
+// binary-search fallback for out-of-order access.
+//
+// The cache is deliberately unsynchronized: each session job runs on a
+// single worker goroutine, and a fresh cache per session keeps memory
+// bounded at O(states × chunks) however large the corpus is.
+type estimatorCache struct {
+	rows         map[chunkKey]*estRow
+	lastKey      chunkKey
+	lastRow      *estRow
+	hits, misses uint64
+}
+
+func newEstimatorCache() *estimatorCache {
+	return &estimatorCache{rows: make(map[chunkKey]*estRow)}
+}
+
+// release drops the cached rows. A retained Abduction keeps the
+// estimator closure (and so this cache) alive in its config; nothing
+// after inference re-evaluates emissions, so the engine releases the
+// storage once the abduction returns. Later calls, if any ever happen,
+// fall through to the direct estimator.
+func (c *estimatorCache) release() {
+	c.rows = nil
+	c.lastRow = nil
+}
+
+// estimate has the signature of hmm.Config.Estimator.
+func (c *estimatorCache) estimate(gtbwMbps float64, st tcp.State, sizeBytes float64) float64 {
+	if c.rows == nil {
+		return tcp.EstimateThroughput(gtbwMbps, st, sizeBytes)
+	}
+	k := chunkKey{
+		cwnd:     st.CWND,
+		ssthresh: st.SSThresh,
+		minRTT:   st.MinRTT,
+		rtt:      st.RTT,
+		rto:      st.RTO,
+		gap:      st.LastSendGap,
+		size:     sizeBytes,
+	}
+	row := c.lastRow
+	if row == nil || k != c.lastKey {
+		row = c.rows[k]
+		if row == nil {
+			row = &estRow{}
+			c.rows[k] = row
+		}
+		row.cursor = 0 // a key change starts a fresh scan of the row
+		c.lastKey, c.lastRow = k, row
+	}
+
+	// Hot path: repeat passes read the row in the same ascending order
+	// it was built in.
+	if row.cursor < len(row.gtbws) && row.gtbws[row.cursor] == gtbwMbps {
+		v := row.vals[row.cursor]
+		row.cursor++
+		c.hits++
+		return v
+	}
+	// Build path: the first pass appends capacities in ascending order.
+	if n := len(row.gtbws); row.cursor == n && (n == 0 || gtbwMbps > row.gtbws[n-1]) {
+		v := tcp.EstimateThroughput(gtbwMbps, st, sizeBytes)
+		row.gtbws = append(row.gtbws, gtbwMbps)
+		row.vals = append(row.vals, v)
+		row.cursor = n + 1
+		c.misses++
+		return v
+	}
+	// Fallback: out-of-order access (e.g. two chunks sharing a key
+	// within one pass). Binary search; insert sorted on miss.
+	i := sort.SearchFloat64s(row.gtbws, gtbwMbps)
+	if i < len(row.gtbws) && row.gtbws[i] == gtbwMbps {
+		row.cursor = i + 1
+		c.hits++
+		return row.vals[i]
+	}
+	v := tcp.EstimateThroughput(gtbwMbps, st, sizeBytes)
+	row.gtbws = append(row.gtbws, 0)
+	copy(row.gtbws[i+1:], row.gtbws[i:])
+	row.gtbws[i] = gtbwMbps
+	row.vals = append(row.vals, 0)
+	copy(row.vals[i+1:], row.vals[i:])
+	row.vals[i] = v
+	row.cursor = i + 1
+	c.misses++
+	return v
+}
+
+func (c *estimatorCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}

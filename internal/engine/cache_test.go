@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"veritas/internal/tcp"
+)
+
+func cacheStates() []tcp.State {
+	a := tcp.Fresh(0.16)
+	b := tcp.Fresh(0.16)
+	b.CWND = 42
+	b.LastSendGap = 3
+	c := tcp.Fresh(0.08)
+	c.SSThresh = 64
+	return []tcp.State{a, b, c}
+}
+
+// TestEstimatorCachePurity drives the cache through emission-table-like
+// passes and adversarial random access, checking every answer against
+// the uncached estimator.
+func TestEstimatorCachePurity(t *testing.T) {
+	states := cacheStates()
+	sizes := []float64{5e5, 1e6, 2.5e6}
+	grid := make([]float64, 24)
+	for i := range grid {
+		grid[i] = 0.5 * float64(i+1)
+	}
+	cache := newEstimatorCache()
+
+	// Four in-order passes, like Viterbi + forward-backward twice.
+	for pass := 0; pass < 4; pass++ {
+		for si, st := range states {
+			for _, g := range grid {
+				got := cache.estimate(g, st, sizes[si])
+				want := tcp.EstimateThroughput(g, st, sizes[si])
+				if got != want {
+					t.Fatalf("pass %d: cache %v, direct %v", pass, got, want)
+				}
+			}
+		}
+	}
+	st := cache.stats()
+	wantMisses := uint64(len(states) * len(grid))
+	if st.Misses != wantMisses {
+		t.Errorf("misses = %d, want %d (one per unique input)", st.Misses, wantMisses)
+	}
+	if st.Hits != 3*wantMisses {
+		t.Errorf("hits = %d, want %d (three repeat passes)", st.Hits, 3*wantMisses)
+	}
+
+	// Adversarial: random interleaved access must stay correct.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		si := rng.Intn(len(states))
+		g := grid[rng.Intn(len(grid))]
+		got := cache.estimate(g, states[si], sizes[si])
+		want := tcp.EstimateThroughput(g, states[si], sizes[si])
+		if got != want {
+			t.Fatalf("random access %d: cache %v, direct %v", i, got, want)
+		}
+	}
+	// Random access over already-built rows must be all hits.
+	if after := cache.stats(); after.Misses != wantMisses {
+		t.Errorf("random access added misses: %d -> %d", wantMisses, after.Misses)
+	}
+}
+
+// TestEstimatorCacheOutOfOrderBuild covers the sorted-insert fallback:
+// descending first-pass order still builds a correct row.
+func TestEstimatorCacheOutOfOrderBuild(t *testing.T) {
+	cache := newEstimatorCache()
+	st := tcp.Fresh(0.16)
+	for g := 10.0; g >= 1; g-- {
+		if got, want := cache.estimate(g, st, 1e6), tcp.EstimateThroughput(g, st, 1e6); got != want {
+			t.Fatalf("build: cache %v, direct %v", got, want)
+		}
+	}
+	for g := 1.0; g <= 10; g++ {
+		if got, want := cache.estimate(g, st, 1e6), tcp.EstimateThroughput(g, st, 1e6); got != want {
+			t.Fatalf("read: cache %v, direct %v", got, want)
+		}
+	}
+	s := cache.stats()
+	if s.Misses != 10 || s.Hits != 10 {
+		t.Errorf("stats = %+v, want 10 misses / 10 hits", s)
+	}
+}
+
+func BenchmarkEstimatorCacheHit(b *testing.B) {
+	cache := newEstimatorCache()
+	st := tcp.Fresh(0.16)
+	grid := make([]float64, 24)
+	for i := range grid {
+		grid[i] = 0.5 * float64(i+1)
+	}
+	for _, g := range grid {
+		cache.estimate(g, st, 1e6)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.estimate(grid[i%len(grid)], st, 1e6)
+	}
+}
+
+func BenchmarkEstimatorDirect(b *testing.B) {
+	st := tcp.Fresh(0.16)
+	grid := make([]float64, 24)
+	for i := range grid {
+		grid[i] = 0.5 * float64(i+1)
+	}
+	for i := 0; i < b.N; i++ {
+		tcp.EstimateThroughput(grid[i%len(grid)], st, 1e6)
+	}
+}

@@ -1,0 +1,385 @@
+// Package engine is the fleet layer of the Veritas reproduction: a
+// sharded, worker-pool batch causal-query engine. Where the facade
+// answers one query over one session log, the engine takes a corpus of
+// sessions and fans the per-session pipeline — simulate Setting A,
+// Abduct, replay every what-if arm, answer interventional queries —
+// out across GOMAXPROCS workers.
+//
+// Three properties the single-session path does not have:
+//
+//   - Sharding: the corpus is split into contiguous shards pulled from
+//     a shared queue, so workers stay busy even when session costs are
+//     skewed (long rebuffering sessions abduce more intervals).
+//   - Memoization: the hot TCP-emission computation f(c, W, S) is
+//     cached per session. One abduction evaluates the emission table
+//     four times over identical inputs (Viterbi and forward–backward,
+//     each run twice: once directly and once inside the sampler), so
+//     the cache removes ~3/4 of all estimator calls. Hit/miss counts
+//     are aggregated across the fleet.
+//   - Aggregation: per-session results stream into a thread-safe
+//     Aggregator; aggregates are computed in session order so results
+//     are byte-identical for every worker count.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"veritas/internal/abduction"
+	"veritas/internal/abr"
+	"veritas/internal/netem"
+	"veritas/internal/player"
+	"veritas/internal/tcp"
+	"veritas/internal/trace"
+	"veritas/internal/video"
+)
+
+// Config parameterizes a fleet run. The zero value is usable: all
+// workers, default sampling, cache on.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize is the number of consecutive sessions per work unit;
+	// 0 picks a size that gives each worker several shards.
+	ShardSize int
+	// Samples is the posterior sample count K used when a spec's
+	// abduction config leaves it zero (default 5).
+	Samples int
+	// Seed derives per-session abduction seeds for specs that leave
+	// Abduct.Seed zero, keeping fleet runs reproducible end to end.
+	Seed int64
+	// DisableCache turns off the per-session emission memoization
+	// (used by tests and benchmarks to measure its effect).
+	DisableCache bool
+	// KeepAbductions retains each session's *abduction.Abduction in its
+	// result. Off by default: posteriors are large, and fleet-scale runs
+	// only need the aggregates.
+	KeepAbductions bool
+	// OnResult, when set, is called once per completed session, from
+	// worker goroutines, in completion order. It must be safe for
+	// concurrent use.
+	OnResult func(SessionResult)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) samples() int {
+	if c.Samples > 0 {
+		return c.Samples
+	}
+	return 5
+}
+
+func (c Config) shardSize(n, workers int) int {
+	if c.ShardSize > 0 {
+		return c.ShardSize
+	}
+	// Several shards per worker smooths skewed session costs without
+	// queue-churn on tiny corpora.
+	s := n / (workers * 4)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// SessionSpec describes one session of the corpus: either a ground-truth
+// trace to simulate Setting A over, or a pre-recorded log to invert
+// directly. Video, Net and BufferCap default to the facade's defaults.
+type SessionSpec struct {
+	// ID labels the session in results; empty means "session-<index>".
+	ID string
+	// Trace is the ground-truth bandwidth. Required unless Log is set;
+	// when present alongside arms it also enables the oracle replay.
+	Trace *trace.Trace
+	// Log is a pre-recorded session log. When set, the Setting-A
+	// simulation is skipped and the log is inverted as-is.
+	Log *player.SessionLog
+	// Video, NewABR, BufferCap, Net, MaxChunks configure the Setting-A
+	// simulation (ignored when Log is set).
+	Video     *video.Video
+	NewABR    func() abr.Algorithm
+	BufferCap float64
+	Net       *netem.Config
+	MaxChunks int
+	// Abduct configures the inversion. Zero NumSamples and Seed are
+	// filled from the engine config; the estimator hook is reserved for
+	// the engine's memoization and must be nil.
+	Abduct abduction.Config
+	// SimulateOnly stops after the Setting-A simulation: no abduction,
+	// arms or predictions. Used to batch-generate corpora of logs.
+	SimulateOnly bool
+	// Predict lists interventional download-time queries answered from
+	// this session's abduction (paper §4.4).
+	Predict []PredictQuery
+}
+
+// PredictQuery is one interventional query: the download time of a
+// hypothetical chunk of SizeBytes requested at StartSecs with TCP state
+// TCP.
+type PredictQuery struct {
+	StartSecs float64
+	TCP       tcp.State
+	SizeBytes float64
+}
+
+// Arm is one what-if setting of the query matrix, replayed against
+// every session's posterior.
+type Arm struct {
+	Name    string
+	Setting abduction.Setting
+}
+
+// ArmOutcome is one session × arm cell: the replay metrics under the
+// Baseline estimate, each Veritas posterior sample, and (when the spec
+// carried the ground truth) the oracle.
+type ArmOutcome struct {
+	Name     string
+	Baseline player.Metrics
+	Samples  []player.Metrics
+	Truth    player.Metrics
+	HasTruth bool
+}
+
+// SessionResult is everything the engine computed for one session.
+type SessionResult struct {
+	Index    int
+	ID       string
+	Log      *player.SessionLog
+	SettingA player.Metrics // zero when the spec supplied Log directly
+	Arms     []ArmOutcome
+	// Predictions[i] answers Predict[i], in seconds.
+	Predictions []float64
+	// Abd is the retained abduction when Config.KeepAbductions is set.
+	Abd   *abduction.Abduction
+	Cache CacheStats
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	Sessions []SessionResult // in corpus order
+	Agg      *Aggregator
+	Cache    CacheStats
+	Workers  int
+	Elapsed  time.Duration
+}
+
+// SessionsPerSecond is the batch throughput of the run.
+func (r *Result) SessionsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Sessions)) / r.Elapsed.Seconds()
+}
+
+// Run executes the fleet: every corpus session through the full
+// pipeline, every arm of the query matrix, across the worker pool.
+// The first session error cancels the run; ctx cancellation aborts
+// promptly with ctx.Err().
+func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Result, error) {
+	if len(corpus) == 0 {
+		return nil, errors.New("engine: empty corpus")
+	}
+	for i, spec := range corpus {
+		if spec.Trace == nil && spec.Log == nil {
+			return nil, fmt.Errorf("engine: session %d has neither Trace nor Log", i)
+		}
+		if spec.Abduct.HMM.Estimator != nil {
+			return nil, fmt.Errorf("engine: session %d sets Abduct.HMM.Estimator (reserved for the engine cache)", i)
+		}
+	}
+	for i, a := range arms {
+		if err := a.Setting.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: arm %d (%s): %w", i, a.Name, err)
+		}
+	}
+
+	start := time.Now()
+	workers := cfg.workers()
+	shardSize := cfg.shardSize(len(corpus), workers)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type shard struct{ lo, hi int }
+	shards := make(chan shard)
+	go func() {
+		defer close(shards)
+		for lo := 0; lo < len(corpus); lo += shardSize {
+			hi := lo + shardSize
+			if hi > len(corpus) {
+				hi = len(corpus)
+			}
+			select {
+			case shards <- shard{lo, hi}:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	agg := NewAggregator(len(corpus))
+	results := make([]SessionResult, len(corpus))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range shards {
+				for i := sh.lo; i < sh.hi; i++ {
+					if runCtx.Err() != nil {
+						return
+					}
+					res, err := runOne(cfg, corpus[i], arms, i)
+					if err != nil {
+						fail(fmt.Errorf("engine: session %d (%s): %w", i, corpus[i].ID, err))
+						return
+					}
+					results[i] = res
+					agg.Add(res)
+					if cfg.OnResult != nil {
+						cfg.OnResult(res)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var cache CacheStats
+	for _, r := range results {
+		cache.Hits += r.Cache.Hits
+		cache.Misses += r.Cache.Misses
+	}
+	return &Result{
+		Sessions: results,
+		Agg:      agg,
+		Cache:    cache,
+		Workers:  workers,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// runOne executes the full pipeline for one session. It is pure given
+// the spec and index, which is what makes fleet results independent of
+// worker count and scheduling.
+func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, error) {
+	res := SessionResult{Index: idx, ID: spec.ID}
+	if res.ID == "" {
+		res.ID = fmt.Sprintf("session-%d", idx)
+	}
+
+	log := spec.Log
+	if log == nil {
+		vid := spec.Video
+		if vid == nil {
+			vid = video.MustSynthesize(video.DefaultConfig(1))
+		}
+		newABR := spec.NewABR
+		if newABR == nil {
+			newABR = func() abr.Algorithm { return abr.NewMPC() }
+		}
+		net := netem.DefaultConfig()
+		if spec.Net != nil {
+			net = *spec.Net
+		}
+		buf := spec.BufferCap
+		if buf == 0 {
+			buf = 5
+		}
+		var m player.Metrics
+		var err error
+		log, m, err = player.Run(player.Config{
+			Video:     vid,
+			ABR:       newABR(),
+			Trace:     spec.Trace,
+			Net:       net,
+			BufferCap: buf,
+			MaxChunks: spec.MaxChunks,
+		})
+		if err != nil {
+			return res, fmt.Errorf("setting A: %w", err)
+		}
+		res.SettingA = m
+	}
+	res.Log = log
+	if spec.SimulateOnly {
+		return res, nil
+	}
+
+	acfg := spec.Abduct
+	if acfg.NumSamples == 0 {
+		acfg.NumSamples = cfg.samples()
+	}
+	if acfg.Seed == 0 {
+		// Distinct, index-stable seeds: the same corpus gives the same
+		// posteriors whatever the worker count.
+		acfg.Seed = cfg.Seed + 1 + int64(idx)*101
+	}
+	var cache *estimatorCache
+	if !cfg.DisableCache {
+		cache = newEstimatorCache()
+		acfg.HMM.Estimator = cache.estimate
+	}
+	abd, err := abduction.Abduct(log, acfg)
+	if err != nil {
+		return res, fmt.Errorf("abduct: %w", err)
+	}
+	if cache != nil {
+		res.Cache = cache.stats()
+		// The abduction's config keeps the estimator closure alive;
+		// nothing after inference evaluates emissions, so free the rows
+		// now rather than pinning them for retained abductions.
+		cache.release()
+	}
+	if cfg.KeepAbductions {
+		res.Abd = abd
+	}
+
+	for _, arm := range arms {
+		out, err := abd.Counterfactual(arm.Setting)
+		if err != nil {
+			return res, fmt.Errorf("arm %s: %w", arm.Name, err)
+		}
+		oc := ArmOutcome{Name: arm.Name, Baseline: out.Baseline, Samples: out.Samples}
+		if spec.Trace != nil {
+			truth, err := abduction.Replay(spec.Trace, arm.Setting)
+			if err != nil {
+				return res, fmt.Errorf("arm %s oracle: %w", arm.Name, err)
+			}
+			oc.Truth = truth
+			oc.HasTruth = true
+		}
+		res.Arms = append(res.Arms, oc)
+	}
+
+	for _, q := range spec.Predict {
+		res.Predictions = append(res.Predictions, abd.PredictDownloadTime(q.StartSecs, q.TCP, q.SizeBytes))
+	}
+	return res, nil
+}

@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"veritas/internal/abduction"
+	"veritas/internal/abr"
+	"veritas/internal/netem"
+	"veritas/internal/tcp"
+	"veritas/internal/video"
+)
+
+// testCorpus builds a small mixed-scenario corpus that keeps unit-test
+// runtime low while exercising every regime.
+func testCorpus(t testing.TB, sessions int) []SessionSpec {
+	t.Helper()
+	corpus, err := BuildCorpus(CorpusConfig{
+		SessionsPer: sessions,
+		NumChunks:   30,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func testArms(chunks int) []Arm {
+	vcfg := video.DefaultConfig(1)
+	vcfg.NumChunks = chunks
+	vid := video.MustSynthesize(vcfg)
+	return []Arm{
+		{
+			Name: "bba-5s",
+			Setting: abduction.Setting{
+				Video:     vid,
+				NewABR:    func() abr.Algorithm { return abr.NewBBA() },
+				BufferCap: 5,
+				Net:       netem.DefaultConfig(),
+			},
+		},
+		{
+			Name: "mpc-30s",
+			Setting: abduction.Setting{
+				Video:     vid,
+				NewABR:    func() abr.Algorithm { return abr.NewMPC() },
+				BufferCap: 30,
+				Net:       netem.DefaultConfig(),
+			},
+		},
+	}
+}
+
+// fingerprint serializes everything aggregate-visible about a run,
+// excluding wall-clock fields, so runs can be compared byte-for-byte.
+func fingerprint(res *Result) string {
+	var b strings.Builder
+	metrics := []struct {
+		label string
+		fn    abduction.MetricFn
+	}{
+		{"ssim", abduction.MetricSSIM},
+		{"rebuf", abduction.MetricRebufRatio},
+		{"bitrate", abduction.MetricAvgBitrate},
+	}
+	for _, arm := range res.armNames() {
+		for _, m := range metrics {
+			for _, est := range []ArmEstimator{EstTruth, EstBaseline, EstVeritasLow, EstVeritasHigh, EstVeritasMid} {
+				fmt.Fprintf(&b, "%s/%s/%s %v\n", arm, m.label, est, res.Agg.Series(arm, est, m.fn))
+			}
+			fmt.Fprintf(&b, "%s/%s coverage %v\n", arm, m.label, res.Agg.Coverage(arm, m.fn, 0.01))
+		}
+	}
+	fmt.Fprintf(&b, "settingA %v\n", res.Agg.SettingASeries(abduction.MetricSSIM))
+	fmt.Fprintf(&b, "predictions %v\n", res.Agg.Predictions())
+	for _, s := range res.Sessions {
+		fmt.Fprintf(&b, "%d %s %+v\n", s.Index, s.ID, s.SettingA)
+	}
+	return b.String()
+}
+
+// TestDeterministicAcrossWorkerCounts is the engine's core contract:
+// the same corpus and seed produce byte-identical aggregates whether
+// the fleet runs on 1, 2 or 7 workers.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	corpus := testCorpus(t, 2) // 2 per scenario × 4 scenarios = 8 sessions
+	arms := testArms(30)
+	var want string
+	for _, workers := range []int{1, 2, 7} {
+		res, err := Run(context.Background(), Config{Workers: workers, Samples: 3, Seed: 1}, corpus, arms)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Workers != workers {
+			t.Errorf("res.Workers = %d, want %d", res.Workers, workers)
+		}
+		got := fingerprint(res)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d produced different aggregates", workers)
+		}
+	}
+}
+
+// TestCacheDoesNotChangeResults pins that memoization is purely a
+// performance optimization.
+func TestCacheDoesNotChangeResults(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	arms := testArms(30)
+	with, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1, DisableCache: true}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(with) != fingerprint(without) {
+		t.Error("cache changed inference results")
+	}
+	if without.Cache.Lookups() != 0 {
+		t.Errorf("disabled cache recorded %d lookups", without.Cache.Lookups())
+	}
+}
+
+// TestCacheAccounting checks the hit/miss bookkeeping: one abduction
+// evaluates the emission table four times over identical inputs, so
+// roughly three of every four estimator calls must hit.
+func TestCacheAccounting(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	res, err := Run(context.Background(), Config{Workers: 2, Samples: 3, Seed: 1}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Lookups() == 0 {
+		t.Fatal("cache saw no traffic")
+	}
+	if res.Cache.Hits+res.Cache.Misses != res.Cache.Lookups() {
+		t.Error("hits + misses != lookups")
+	}
+	if hr := res.Cache.HitRate(); hr < 0.7 {
+		t.Errorf("hit rate %.3f, want >= 0.7 (emission table is evaluated 4x per abduction)", hr)
+	}
+	var perSession uint64
+	for _, s := range res.Sessions {
+		perSession += s.Cache.Hits + s.Cache.Misses
+	}
+	if perSession != res.Cache.Lookups() {
+		t.Error("per-session cache stats do not sum to the fleet total")
+	}
+}
+
+// TestCancellation covers both pre-cancelled contexts and mid-run
+// cancellation via the streaming callback.
+func TestCancellation(t *testing.T) {
+	corpus := testCorpus(t, 2)
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(pre, Config{Workers: 2}, corpus, nil); err == nil {
+		t.Error("pre-cancelled context should error")
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	var n atomic.Int64
+	cfg := Config{
+		Workers: 2,
+		OnResult: func(SessionResult) {
+			if n.Add(1) == 1 {
+				cancelMid()
+			}
+		},
+	}
+	if _, err := Run(ctx, cfg, corpus, nil); err != context.Canceled {
+		t.Errorf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if got := n.Load(); got >= int64(len(corpus)) {
+		t.Errorf("cancellation did not stop the fleet: %d/%d sessions ran", got, len(corpus))
+	}
+}
+
+func TestSimulateOnlyAndPrerecordedLogs(t *testing.T) {
+	corpus := testCorpus(t, 1)[:2]
+	for i := range corpus {
+		corpus[i].SimulateOnly = true
+	}
+	res, err := Run(context.Background(), Config{Workers: 2}, corpus, testArms(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sessions {
+		if s.Log == nil {
+			t.Fatal("simulate-only session missing log")
+		}
+		if len(s.Arms) != 0 || s.Abd != nil {
+			t.Error("simulate-only session ran queries")
+		}
+	}
+	if res.Cache.Lookups() != 0 {
+		t.Error("simulate-only fleet touched the emission cache")
+	}
+
+	// Feed the recorded logs back as pre-recorded specs.
+	specs := make([]SessionSpec, len(res.Sessions))
+	for i, s := range res.Sessions {
+		specs[i] = SessionSpec{ID: s.ID, Log: s.Log}
+	}
+	res2, err := Run(context.Background(), Config{Workers: 2, Samples: 2, KeepAbductions: true}, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res2.Sessions {
+		if s.Abd == nil {
+			t.Error("KeepAbductions did not retain the abduction")
+		}
+	}
+	if got := res2.Agg.SettingASeries(abduction.MetricSSIM); len(got) != 0 {
+		t.Errorf("pre-recorded logs should have no Setting-A metrics, got %d", len(got))
+	}
+}
+
+func TestPredictQueries(t *testing.T) {
+	corpus := testCorpus(t, 1)[:1]
+	// First simulate to learn the log, then ask for next-chunk times.
+	sim := corpus[0]
+	sim.SimulateOnly = true
+	res, err := Run(context.Background(), Config{}, []SessionSpec{sim}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.Sessions[0].Log
+	last := log.Records[len(log.Records)-1]
+	st := last.TCP
+	st.LastSendGap = 2
+	spec := corpus[0]
+	spec.Predict = []PredictQuery{
+		{StartSecs: last.End + 2, TCP: st, SizeBytes: 1e6},
+		{StartSecs: last.End + 2, TCP: st, SizeBytes: 4e6},
+	}
+	res2, err := Run(context.Background(), Config{Samples: 2}, []SessionSpec{spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := res2.Sessions[0].Predictions
+	if len(preds) != 2 {
+		t.Fatalf("got %d predictions, want 2", len(preds))
+	}
+	if preds[0] <= 0 || preds[1] <= preds[0] {
+		t.Errorf("predictions %v: want positive and increasing with size", preds)
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, nil, nil); err == nil {
+		t.Error("empty corpus should error")
+	}
+	if _, err := Run(context.Background(), Config{}, []SessionSpec{{}}, nil); err == nil {
+		t.Error("spec without trace or log should error")
+	}
+	bad := testCorpus(t, 1)[:1]
+	bad[0].Abduct.HMM.Estimator = func(float64, tcp.State, float64) float64 { return 0 }
+	if _, err := Run(context.Background(), Config{}, bad, nil); err == nil {
+		t.Error("reserved estimator hook should error")
+	}
+	if _, err := Run(context.Background(), Config{}, testCorpus(t, 1)[:1], []Arm{{Name: "broken"}}); err == nil {
+		t.Error("invalid arm setting should error")
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	corpus, err := BuildCorpus(CorpusConfig{SessionsPer: 3, NumChunks: 25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 3*len(Scenarios()) {
+		t.Fatalf("corpus has %d sessions, want %d", len(corpus), 3*len(Scenarios()))
+	}
+	seen := map[string]bool{}
+	for _, s := range corpus {
+		if s.Trace == nil || s.Video == nil || s.Net == nil {
+			t.Fatalf("incomplete spec %q", s.ID)
+		}
+		seen[strings.SplitN(s.ID, "-", 2)[0]] = true
+	}
+	for _, sc := range Scenarios() {
+		if !seen[sc] {
+			t.Errorf("scenario %s missing from corpus", sc)
+		}
+	}
+	if _, err := BuildCorpus(CorpusConfig{Scenarios: []string{"dialup"}}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	res, err := Run(context.Background(), Config{Samples: 2, Seed: 1}, corpus, testArms(30)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fleet report", "arm: bba-5s", "SSIM", "hit rate", "sessions/sec", "coverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"veritas/internal/abduction"
+)
+
+// reportMetrics are the fleet-report rows: label, extractor, and the
+// multiplier applied for display (rebuffering is shown in percent).
+var reportMetrics = []struct {
+	label string
+	fn    abduction.MetricFn
+	scale float64
+	slack float64 // coverage slack in the metric's native unit
+}{
+	{"SSIM", abduction.MetricSSIM, 1, 0.002},
+	{"rebuf %", abduction.MetricRebufRatio, 100, 0.005},
+	{"bitrate Mbps", abduction.MetricAvgBitrate, 1, 0.1},
+}
+
+var reportEstimators = []ArmEstimator{EstTruth, EstBaseline, EstVeritasLow, EstVeritasHigh}
+
+// WriteReport renders the fleet run as an aligned-text aggregate
+// report: one block per what-if arm with mean/percentile rows for every
+// metric and estimator, then cache and throughput statistics.
+func (r *Result) WriteReport(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fleet report: %d sessions, %d workers ==\n", len(r.Sessions), r.Workers)
+
+	arms := r.armNames()
+	for _, arm := range arms {
+		fmt.Fprintf(&b, "\n-- arm: %s --\n", arm)
+		fmt.Fprintf(&b, "%-14s %-13s %9s %9s %9s %9s %9s\n",
+			"metric", "estimator", "mean", "P10", "P50", "P90", "max")
+		for _, m := range reportMetrics {
+			for _, est := range reportEstimators {
+				s := r.Agg.Summary(arm, est, m.fn)
+				if s.N == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "%-14s %-13s %9.4g %9.4g %9.4g %9.4g %9.4g\n",
+					m.label, est, s.Mean*m.scale, s.P10*m.scale, s.P50*m.scale, s.P90*m.scale, s.Max*m.scale)
+			}
+		}
+		for _, m := range reportMetrics {
+			if len(r.Agg.Series(arm, EstTruth, m.fn)) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "coverage: truth inside Veritas range (±%g) on %.0f%% of sessions [%s]\n",
+				m.slack, r.Agg.Coverage(arm, m.fn, m.slack)*100, m.label)
+		}
+	}
+
+	if preds := r.Agg.Predictions(); len(preds) > 0 {
+		s := Summarize(preds)
+		fmt.Fprintf(&b, "\n-- interventional download-time predictions --\n")
+		fmt.Fprintf(&b, "n %d  mean %.4g s  P10 %.4g  P50 %.4g  P90 %.4g\n",
+			s.N, s.Mean, s.P10, s.P50, s.P90)
+	}
+
+	fmt.Fprintf(&b, "\n-- engine --\n")
+	fmt.Fprintf(&b, "emission cache: %d lookups, %.1f%% hit rate (%d hits, %d misses)\n",
+		r.Cache.Lookups(), r.Cache.HitRate()*100, r.Cache.Hits, r.Cache.Misses)
+	fmt.Fprintf(&b, "elapsed %v, %.2f sessions/sec\n", r.Elapsed.Round(1e6), r.SessionsPerSecond())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// armNames returns the arm names present in the run, in arm order.
+func (r *Result) armNames() []string {
+	for _, s := range r.Sessions {
+		if len(s.Arms) > 0 {
+			names := make([]string, len(s.Arms))
+			for i, a := range s.Arms {
+				names[i] = a.Name
+			}
+			return names
+		}
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/engine"
 	"veritas/internal/hmm"
 	"veritas/internal/stats"
 	"veritas/internal/trace"
@@ -24,31 +26,44 @@ func init() {
 
 // inferRMSE abduces with the given config and returns the most-likely
 // trace's RMSE against the ground truth, averaged across the scale's
-// traces.
+// traces. The per-trace sessions run batched on the fleet engine with
+// retained abductions; only one posterior sample is drawn since the
+// Viterbi trace is sample-independent.
 func inferRMSE(s Scale, cfg abduction.Config) (meanRMSE float64, err error) {
-	traces, err := fccTraces(s)
+	traces, err := regimeTraces(s)
 	if err != nil {
 		return 0, err
 	}
 	vid := testVideo(s)
-	var sum float64
-	var n int
+	corpus := make([]engine.SessionSpec, len(traces))
 	for i, gt := range traces {
 		c := cfg
 		c.Seed = s.Seed + int64(i)
-		log, _, err := session(vid, abr.NewMPC(), gt, settingABuffer, s.Seed+int64(i))
-		if err != nil {
-			return 0, err
+		c.NumSamples = 1
+		net := testbedNet(s.Seed + int64(i))
+		corpus[i] = engine.SessionSpec{
+			ID:        fmt.Sprintf("abl-%03d", i),
+			Trace:     gt,
+			Video:     vid,
+			NewABR:    func() abr.Algorithm { return abr.NewMPC() },
+			BufferCap: settingABuffer,
+			Net:       &net,
+			Abduct:    c,
 		}
-		abd, err := abduction.Abduct(log, c)
-		if err != nil {
-			return 0, err
-		}
-		horizon := log.Records[len(log.Records)-1].End
-		sum += traceRMSE(abd.MostLikelyTrace(), gt, horizon)
-		n++
 	}
-	return sum / float64(n), nil
+	ecfg := engineConfig(s)
+	ecfg.KeepAbductions = true
+	res, err := engine.Run(context.Background(), ecfg, corpus, nil)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, sr := range res.Sessions {
+		recs := sr.Log.Records
+		horizon := recs[len(recs)-1].End
+		sum += traceRMSE(sr.Abd.MostLikelyTrace(), traces[i], horizon)
+	}
+	return sum / float64(len(res.Sessions)), nil
 }
 
 // traceRMSE samples both traces at 1 s over [0, horizon].

@@ -1,16 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/engine"
 	"veritas/internal/player"
 	"veritas/internal/stats"
-	"veritas/internal/trace"
-	"veritas/internal/video"
 )
 
 func init() {
@@ -96,66 +94,62 @@ type cfResult struct {
 	Samples  []player.Metrics // Setting B on each Veritas sample
 }
 
-// runCounterfactual executes the full Figure-6 pipeline for one scenario
-// over the scale's trace set. Traces are fully independent (per-trace
-// seeds, no shared state), so they run on a worker pool; results stay in
-// trace order so every run is deterministic.
-func runCounterfactual(s Scale, sc cfScenario) ([]cfResult, error) {
-	traces, err := fccTraces(s)
+// runCounterfactualMatrix executes the full Figure-6 pipeline over the
+// scale's trace set, batched on the fleet engine: every trace becomes
+// one corpus session, every scenario one what-if arm, and the engine
+// fans the Abduct + replay work across the worker pool (with the
+// per-session emission memoization the serial path never had). Each
+// session is simulated and abduced once however many arms replay over
+// it — fig14's four panels share one inversion. Per-trace seeds match
+// the original serial implementation, so tables are unchanged and
+// identical for every worker count. Results are keyed by scenario name.
+func runCounterfactualMatrix(s Scale, scs []cfScenario) (map[string][]cfResult, error) {
+	traces, err := regimeTraces(s)
 	if err != nil {
 		return nil, err
 	}
 	vid := testVideo(s)
-	setting := sc.Setting(s)
-	out := make([]cfResult, len(traces))
-	errs := make([]error, len(traces))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	corpus := make([]engine.SessionSpec, len(traces))
 	for i, gt := range traces {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r, err := oneCounterfactual(vid, gt, setting, s, int64(i))
-			if err != nil {
-				errs[i] = fmt.Errorf("trace %d: %w", i, err)
-				return
-			}
-			out[i] = r
-		}()
+		net := testbedNet(s.Seed + int64(i))
+		corpus[i] = engine.SessionSpec{
+			ID:        fmt.Sprintf("trace-%03d", i),
+			Trace:     gt,
+			Video:     vid,
+			NewABR:    func() abr.Algorithm { return abr.NewMPC() },
+			BufferCap: settingABuffer,
+			Net:       &net,
+			Abduct: abduction.Config{
+				NumSamples: s.Samples,
+				Seed:       s.Seed + int64(i)*101,
+			},
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	arms := make([]engine.Arm, len(scs))
+	for i, sc := range scs {
+		arms[i] = engine.Arm{Name: sc.Name, Setting: sc.Setting(s)}
+	}
+	res, err := engine.Run(context.Background(), engineConfig(s), corpus, arms)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]cfResult, len(scs))
+	for _, sr := range res.Sessions {
+		for _, oc := range sr.Arms {
+			out[oc.Name] = append(out[oc.Name],
+				cfResult{SettingA: sr.SettingA, Truth: oc.Truth, Baseline: oc.Baseline, Samples: oc.Samples})
 		}
 	}
 	return out, nil
 }
 
-func oneCounterfactual(vid *video.Video, gt *trace.Trace, setting abduction.Setting, s Scale, i int64) (cfResult, error) {
-	logA, mA, err := session(vid, abr.NewMPC(), gt, settingABuffer, s.Seed+i)
+// runCounterfactual runs a single scenario.
+func runCounterfactual(s Scale, sc cfScenario) ([]cfResult, error) {
+	m, err := runCounterfactualMatrix(s, []cfScenario{sc})
 	if err != nil {
-		return cfResult{}, err
+		return nil, err
 	}
-	abd, err := abduction.Abduct(logA, abduction.Config{
-		NumSamples: s.Samples,
-		Seed:       s.Seed + i*101,
-	})
-	if err != nil {
-		return cfResult{}, fmt.Errorf("abduction: %w", err)
-	}
-	cf, err := abd.Counterfactual(setting)
-	if err != nil {
-		return cfResult{}, fmt.Errorf("counterfactual: %w", err)
-	}
-	truth, err := abduction.Replay(gt, setting)
-	if err != nil {
-		return cfResult{}, fmt.Errorf("oracle replay: %w", err)
-	}
-	return cfResult{SettingA: mA, Truth: truth, Baseline: cf.Baseline, Samples: cf.Samples}, nil
+	return m[sc.Name], nil
 }
 
 // metricSeries extracts the per-trace values of one metric for each
@@ -347,12 +341,19 @@ func fig14(s Scale) (*Table, error) {
 		{"(d) buffer 30s", bufferScenario()},
 		{"(e) higher ladder", ladderScenario()},
 	}
+	scs := make([]cfScenario, len(panels))
+	for i, p := range panels {
+		scs[i] = p.sc
+	}
+	// One engine run: the corpus is simulated and abduced once, all
+	// four panels replay as arms over the shared posteriors.
+	byName, err := runCounterfactualMatrix(s, scs)
+	if err != nil {
+		return nil, err
+	}
 	var okCount int
 	for _, p := range panels {
-		results, err := runCounterfactual(s, p.sc)
-		if err != nil {
-			return nil, err
-		}
+		results := byName[p.sc.Name]
 		br := collect(results, abduction.MetricAvgBitrate)
 		t.AddRow(p.label+" median", stats.Median(br.Truth), stats.Median(br.Baseline),
 			stats.Median(br.VLow), stats.Median(br.VHigh))

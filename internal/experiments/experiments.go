@@ -11,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"veritas/internal/trace"
 )
 
 // Table is one regenerated figure: a titled grid of rows plus notes
@@ -93,6 +95,14 @@ type Scale struct {
 	TestTraces int   // random-ABR test traces for fig12 (paper: 30)
 	Samples    int   // Veritas posterior samples K (paper: 5)
 	Seed       int64 // base seed; every derived seed is offset from it
+	// Workers sizes the fleet-engine worker pool the batch experiments
+	// run on; 0 means GOMAXPROCS. Results are identical for every
+	// worker count.
+	Workers int
+	// Scenario selects the bandwidth regime of the counterfactual trace
+	// set: one of trace.Regimes() ("fcc", "lte", "wifi"); empty means
+	// the paper's FCC-like regime.
+	Scenario string
 }
 
 // PaperScale is the full evaluation size of the paper.
@@ -119,6 +129,11 @@ func (s Scale) Validate() error {
 		return fmt.Errorf("experiments: TestTraces %d <= 0", s.TestTraces)
 	case s.Samples <= 0:
 		return fmt.Errorf("experiments: Samples %d <= 0", s.Samples)
+	case s.Workers < 0:
+		return fmt.Errorf("experiments: Workers %d < 0", s.Workers)
+	}
+	if _, err := trace.RegimeConfig(s.Scenario, s.Seed); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }

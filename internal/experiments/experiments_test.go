@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"veritas/internal/abduction"
+	"veritas/internal/player"
 )
 
 // tinyScale keeps unit-test runtime low while still exercising every
@@ -26,6 +27,8 @@ func TestScaleValidate(t *testing.T) {
 		func(s *Scale) { s.FuguTraces = 0 },
 		func(s *Scale) { s.TestTraces = 0 },
 		func(s *Scale) { s.Samples = 0 },
+		func(s *Scale) { s.Workers = -1 },
+		func(s *Scale) { s.Scenario = "dialup" },
 	}
 	for i, mut := range bad {
 		s := QuickScale()
@@ -198,6 +201,33 @@ func TestCoverageHelper(t *testing.T) {
 	}
 	if got := ms.coverage(1); got != 1.0 {
 		t.Errorf("coverage(1) = %v", got)
+	}
+}
+
+// TestScenarioAndWorkersPlumb runs a counterfactual figure on the LTE
+// regime with an explicit worker count, covering the engine-backed
+// batch path end to end.
+func TestScenarioAndWorkersPlumb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	s.Workers = 2
+	s.Scenario = "lte"
+	results, err := runCounterfactual(s, bbaScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != s.NumTraces {
+		t.Fatalf("got %d results, want %d", len(results), s.NumTraces)
+	}
+	for i, r := range results {
+		if r.Truth == (player.Metrics{}) {
+			t.Errorf("result %d has an empty oracle outcome", i)
+		}
+		if len(r.Samples) != s.Samples {
+			t.Errorf("result %d has %d samples, want %d", i, len(r.Samples), s.Samples)
+		}
 	}
 }
 

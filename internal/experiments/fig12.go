@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/engine"
 	"veritas/internal/fugu"
-	"veritas/internal/player"
 	"veritas/internal/stats"
 )
 
@@ -26,13 +27,11 @@ func fig12(s Scale) (*Table, error) {
 		return nil, err
 	}
 	vid := testVideo(s)
-	var logs []*player.SessionLog
-	for i, gt := range trainTraces {
-		log, _, err := session(vid, abr.NewMPC(), gt, settingABuffer, s.Seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		logs = append(logs, log)
+	logs, err := batchSessions(s, vid, trainTraces,
+		func(int) func() abr.Algorithm { return func() abr.Algorithm { return abr.NewMPC() } },
+		func(i int) int64 { return s.Seed + int64(i) })
+	if err != nil {
+		return nil, err
 	}
 	ds := fugu.BuildDataset(logs, fugu.DefaultK)
 	pred, err := fugu.TrainPredictor(ds, fugu.PredictorConfig{
@@ -47,13 +46,22 @@ func fig12(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	testLogs, err := batchSessions(s, vid, testTraces,
+		func(i int) func() abr.Algorithm {
+			return func() abr.Algorithm { return abr.NewRandom(s.Seed + int64(i)*7) }
+		},
+		func(i int) int64 { return s.Seed + int64(1000+i) })
+	if err != nil {
+		return nil, err
+	}
+
+	// Every sampled prefix becomes one engine session: a pre-recorded
+	// log to invert plus a single interventional query — the per-prefix
+	// abductions were the serial bottleneck of this figure.
 	type point struct{ actual, fuguP, veritasP float64 }
 	var pts []point
-	for i, gt := range testTraces {
-		log, _, err := session(vid, abr.NewRandom(s.Seed+int64(i)*7), gt, settingABuffer, s.Seed+int64(1000+i))
-		if err != nil {
-			return nil, err
-		}
+	var specs []engine.SessionSpec
+	for _, log := range testLogs {
 		step := len(log.Records) / 10
 		if step < 1 {
 			step = 1
@@ -68,16 +76,21 @@ func fig12(s Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			abd, err := abduction.Abduct(log.Prefix(n), abduction.Config{
-				NumSamples: 1,
-				Seed:       s.Seed + int64(n),
+			pts = append(pts, point{actual: rec.DownloadSeconds(), fuguP: fp})
+			specs = append(specs, engine.SessionSpec{
+				ID:      fmt.Sprintf("prefix-%03d", len(specs)),
+				Log:     log.Prefix(n),
+				Abduct:  abduction.Config{NumSamples: 1, Seed: s.Seed + int64(n)},
+				Predict: []engine.PredictQuery{{StartSecs: rec.Start, TCP: rec.TCP, SizeBytes: rec.SizeBytes}},
 			})
-			if err != nil {
-				return nil, err
-			}
-			vp := abd.PredictDownloadTime(rec.Start, rec.TCP, rec.SizeBytes)
-			pts = append(pts, point{actual: rec.DownloadSeconds(), fuguP: fp, veritasP: vp})
 		}
+	}
+	res, err := engine.Run(context.Background(), engineConfig(s), specs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, sr := range res.Sessions {
+		pts[i].veritasP = sr.Predictions[0]
 	}
 
 	t := &Table{

@@ -33,22 +33,16 @@ var fig2aBuckets = []struct {
 }
 
 // fig2aSessions runs MPC over the poor+good trace mix and returns the
-// per-chunk logs, shared by fig2a and fig2b.
+// per-chunk logs, shared by fig2a and fig2b. The sessions are
+// independent, so they batch on the fleet engine.
 func fig2aSessions(s Scale) ([]*player.SessionLog, error) {
 	traces, err := poorGoodTraces(s.Seed+500, s.FuguTraces)
 	if err != nil {
 		return nil, err
 	}
-	vid := testVideo(s)
-	logs := make([]*player.SessionLog, 0, len(traces))
-	for i, gt := range traces {
-		log, _, err := session(vid, abr.NewMPC(), gt, 5, s.Seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		logs = append(logs, log)
-	}
-	return logs, nil
+	return batchSessions(s, testVideo(s), traces,
+		func(int) func() abr.Algorithm { return func() abr.Algorithm { return abr.NewMPC() } },
+		func(i int) int64 { return s.Seed + int64(i) })
 }
 
 func fig2a(s Scale) (*Table, error) {

@@ -18,7 +18,11 @@ func init() {
 // streamed with MPC, then the Baseline estimate and five Veritas samples
 // are compared against the true GTBW over time.
 func fig7(s Scale) (*Table, error) {
-	gt, err := trace.Generate(trace.DefaultFCC(s.Seed + 7))
+	gcfg, err := trace.RegimeConfig(s.Scenario, s.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	gt, err := trace.Generate(gcfg)
 	if err != nil {
 		return nil, err
 	}

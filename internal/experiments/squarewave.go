@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/engine"
 	"veritas/internal/stats"
 	"veritas/internal/trace"
 )
@@ -29,24 +31,40 @@ func extSquare(s Scale) (*Table, error) {
 	type band struct{ lo, hi float64 }
 	var wins int
 	bands := []band{{2, 6}, {3, 8}, {4, 5}}
+
+	// One engine session per band, abductions retained for trace access.
+	corpus := make([]engine.SessionSpec, len(bands))
 	for bi, b := range bands {
 		sq, err := trace.SquareWave(b.lo, b.hi, 60, 720)
 		if err != nil {
 			return nil, err
 		}
-		log, _, err := session(vid, abr.NewMPC(), sq, settingABuffer, s.Seed+int64(bi))
-		if err != nil {
-			return nil, err
+		net := testbedNet(s.Seed + int64(bi))
+		corpus[bi] = engine.SessionSpec{
+			ID:        fmt.Sprintf("square-%d", bi),
+			Trace:     sq,
+			Video:     vid,
+			NewABR:    func() abr.Algorithm { return abr.NewMPC() },
+			BufferCap: settingABuffer,
+			Net:       &net,
+			Abduct:    abduction.Config{NumSamples: 1, Seed: s.Seed + int64(bi)},
 		}
-		abd, err := abduction.Abduct(log, abduction.Config{NumSamples: 1, Seed: s.Seed + int64(bi)})
-		if err != nil {
-			return nil, err
-		}
+	}
+	ecfg := engineConfig(s)
+	ecfg.KeepAbductions = true
+	res, err := engine.Run(context.Background(), ecfg, corpus, nil)
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range bands {
+		sr := res.Sessions[bi]
+		sq := corpus[bi].Trace
+		log := sr.Log
 		base, err := abduction.BaselineTrace(log, 1)
 		if err != nil {
 			return nil, err
 		}
-		ml := abd.MostLikelyTrace()
+		ml := sr.Abd.MostLikelyTrace()
 		horizon := log.Records[len(log.Records)-1].End
 
 		vRMSE := traceRMSE(ml, sq, horizon)

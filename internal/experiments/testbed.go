@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"veritas/internal/abr"
+	"veritas/internal/engine"
 	"veritas/internal/netem"
 	"veritas/internal/player"
 	"veritas/internal/trace"
@@ -37,10 +39,21 @@ func higherVideo(s Scale) *video.Video {
 	return video.MustSynthesize(cfg)
 }
 
-// fccTraces generates the counterfactual trace set (3–8 Mbps).
-func fccTraces(s Scale) ([]*trace.Trace, error) {
-	cfg := trace.DefaultFCC(s.Seed)
+// regimeTraces generates the counterfactual trace set in the scale's
+// scenario regime (default: the paper's 3–8 Mbps FCC-like process).
+func regimeTraces(s Scale) ([]*trace.Trace, error) {
+	cfg, err := trace.RegimeConfig(s.Scenario, s.Seed)
+	if err != nil {
+		return nil, err
+	}
 	return trace.GenerateSet(cfg, s.NumTraces)
+}
+
+// engineConfig maps a Scale onto the fleet engine's knobs. Seed stays
+// zero: every spec the experiments build carries explicit abduction
+// seeds, so nothing falls through to the engine's derivation.
+func engineConfig(s Scale) engine.Config {
+	return engine.Config{Workers: s.Workers, Samples: s.Samples}
 }
 
 // wideTraces generates the interventional-range set (0.5–10 Mbps), used
@@ -80,6 +93,35 @@ func poorGoodTraces(seed int64, n int) ([]*trace.Trace, error) {
 		return nil, err
 	}
 	return append(poor, good...), nil
+}
+
+// batchSessions simulates one session per trace on the fleet engine
+// (simulate-only: no abduction) and returns the logs in trace order.
+// newABR and netSeed are indexed by trace so callers control the exact
+// per-session seeding.
+func batchSessions(s Scale, v *video.Video, traces []*trace.Trace, newABR func(i int) func() abr.Algorithm, netSeed func(i int) int64) ([]*player.SessionLog, error) {
+	corpus := make([]engine.SessionSpec, len(traces))
+	for i, gt := range traces {
+		net := testbedNet(netSeed(i))
+		corpus[i] = engine.SessionSpec{
+			ID:           fmt.Sprintf("sim-%03d", i),
+			Trace:        gt,
+			Video:        v,
+			NewABR:       newABR(i),
+			BufferCap:    settingABuffer,
+			Net:          &net,
+			SimulateOnly: true,
+		}
+	}
+	res, err := engine.Run(context.Background(), engineConfig(s), corpus, nil)
+	if err != nil {
+		return nil, err
+	}
+	logs := make([]*player.SessionLog, len(res.Sessions))
+	for i, sr := range res.Sessions {
+		logs[i] = sr.Log
+	}
+	return logs, nil
 }
 
 // session runs one streaming session and returns its log and metrics.

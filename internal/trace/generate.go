@@ -19,6 +19,15 @@ type GenConfig struct {
 	StepMbps float64 // max magnitude of a regular step (uniform)
 	JumpProb float64 // probability an interval is a regime jump
 	Seed     int64
+
+	// Deep-fade extension for WiFi-like regimes: with probability
+	// FadeProb an interval begins a fade, during which the bandwidth
+	// drops to FadeMbps for FadeIntervals intervals before resuming the
+	// pre-fade level. All three zero values disable fading, leaving the
+	// FCC-like process byte-identical to the original generator.
+	FadeProb      float64 // probability an interval starts a fade
+	FadeMbps      float64 // bandwidth during a fade
+	FadeIntervals int     // fade length in intervals (min 1 when fading)
 }
 
 // Validate reports the first problem with the config, if any.
@@ -36,6 +45,12 @@ func (c GenConfig) Validate() error {
 		return fmt.Errorf("trace: StepMbps %v < 0", c.StepMbps)
 	case c.JumpProb < 0 || c.JumpProb > 1:
 		return fmt.Errorf("trace: JumpProb %v outside [0,1]", c.JumpProb)
+	case c.FadeProb < 0 || c.FadeProb > 1:
+		return fmt.Errorf("trace: FadeProb %v outside [0,1]", c.FadeProb)
+	case c.FadeMbps < 0:
+		return fmt.Errorf("trace: FadeMbps %v < 0", c.FadeMbps)
+	case c.FadeIntervals < 0:
+		return fmt.Errorf("trace: FadeIntervals %d < 0", c.FadeIntervals)
 	}
 	return nil
 }
@@ -57,6 +72,56 @@ func DefaultFCC(seed int64) GenConfig {
 	}
 }
 
+// DefaultLTE returns a cellular-like regime: wider dynamic range than
+// the FCC broadband process (1–20 Mbps), second-granularity variation
+// and frequent regime jumps from handovers and scheduler churn.
+func DefaultLTE(seed int64) GenConfig {
+	return GenConfig{
+		MinMbps:  1,
+		MaxMbps:  20,
+		Interval: 1,
+		Horizon:  720,
+		StepMbps: 1.5,
+		JumpProb: 0.08,
+		Seed:     seed,
+	}
+}
+
+// DefaultWiFi returns a WLAN-like regime: a fast 2–25 Mbps random walk
+// punctuated by deep fades (interference / contention bursts) during
+// which the link collapses to ~0.5 Mbps for a few seconds.
+func DefaultWiFi(seed int64) GenConfig {
+	return GenConfig{
+		MinMbps:       2,
+		MaxMbps:       25,
+		Interval:      2,
+		Horizon:       720,
+		StepMbps:      1.0,
+		JumpProb:      0.04,
+		FadeProb:      0.05,
+		FadeMbps:      0.5,
+		FadeIntervals: 3,
+		Seed:          seed,
+	}
+}
+
+// Regimes returns the names of the built-in generator regimes, in the
+// order RegimeConfig accepts them.
+func Regimes() []string { return []string{"fcc", "lte", "wifi"} }
+
+// RegimeConfig returns the named built-in regime's generator config.
+func RegimeConfig(name string, seed int64) (GenConfig, error) {
+	switch name {
+	case "fcc", "":
+		return DefaultFCC(seed), nil
+	case "lte":
+		return DefaultLTE(seed), nil
+	case "wifi":
+		return DefaultWiFi(seed), nil
+	}
+	return GenConfig{}, fmt.Errorf("trace: unknown regime %q (have %v)", name, Regimes())
+}
+
 // Generate produces one synthetic trace from the config.
 func Generate(cfg GenConfig) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
@@ -67,8 +132,21 @@ func Generate(cfg GenConfig) (*Trace, error) {
 	vals := make([]float64, n)
 	span := cfg.MaxMbps - cfg.MinMbps
 	cur := cfg.MinMbps + rng.Float64()*span
+	fadeLeft := 0
 	for i := 0; i < n; i++ {
+		if fadeLeft > 0 {
+			vals[i] = cfg.FadeMbps
+			fadeLeft--
+			continue
+		}
 		vals[i] = cur
+		if cfg.FadeProb > 0 && rng.Float64() < cfg.FadeProb {
+			fadeLeft = cfg.FadeIntervals
+			if fadeLeft < 1 {
+				fadeLeft = 1
+			}
+			continue // the pre-fade level resumes after the fade
+		}
 		if rng.Float64() < cfg.JumpProb {
 			// Regime jump: re-draw anywhere in the range. This gives the
 			// occasional sharp shift real broadband traces show.

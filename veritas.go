@@ -1,10 +1,12 @@
 package veritas
 
 import (
+	"context"
 	"errors"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/engine"
 	"veritas/internal/netem"
 	"veritas/internal/player"
 	"veritas/internal/tcp"
@@ -275,4 +277,61 @@ func PredictNextChunkTime(abd *Abduction, gapSecs, sizeBytes float64) float64 {
 	st := last.TCP
 	st.LastSendGap = gapSecs
 	return abd.PredictDownloadTime(last.End+gapSecs, st, sizeBytes)
+}
+
+// Fleet layer: batch causal queries over a corpus of sessions, answered
+// by the sharded worker-pool engine in internal/engine.
+type (
+	// FleetConfig sizes the engine: workers, shard size, posterior
+	// samples, seed, memoization.
+	FleetConfig = engine.Config
+	// FleetSpec is one corpus session (a GTBW trace to stream, or a
+	// pre-recorded log to invert).
+	FleetSpec = engine.SessionSpec
+	// FleetArm is one what-if setting of the query matrix.
+	FleetArm = engine.Arm
+	// FleetResult is a completed fleet run: per-session results in
+	// corpus order plus the streaming aggregator.
+	FleetResult = engine.Result
+	// FleetSessionResult is one session's outcomes.
+	FleetSessionResult = engine.SessionResult
+	// FleetCacheStats counts the engine's emission-memoization cache.
+	FleetCacheStats = engine.CacheStats
+	// CorpusConfig describes a scenario-diverse synthetic corpus.
+	CorpusConfig = engine.CorpusConfig
+)
+
+// RunFleet executes batch causal queries: every corpus session is
+// simulated (or taken from its log), inverted via Abduct, and replayed
+// under every arm, fanned out across the engine's worker pool. Results
+// are deterministic in the corpus and seeds, independent of the worker
+// count.
+func RunFleet(ctx context.Context, cfg FleetConfig, corpus []FleetSpec, arms []FleetArm) (*FleetResult, error) {
+	return engine.Run(ctx, cfg, corpus, arms)
+}
+
+// BuildCorpus materializes a scenario-diverse corpus (FCC-, LTE-,
+// WiFi-like and square-wave bandwidth regimes) as fleet session specs.
+func BuildCorpus(cfg CorpusConfig) ([]FleetSpec, error) { return engine.BuildCorpus(cfg) }
+
+// FleetMatrix returns the ABR × buffer-size what-if matrix for a
+// corpus, one arm per pair.
+func FleetMatrix(cfg CorpusConfig, abrs []string, buffers []float64) ([]FleetArm, error) {
+	return engine.BuildMatrix(cfg, abrs, buffers)
+}
+
+// FleetScenarios returns the corpus scenario names BuildCorpus accepts.
+func FleetScenarios() []string { return engine.Scenarios() }
+
+// FleetABRs returns the algorithm names FleetMatrix accepts.
+func FleetABRs() []string { return engine.ABRs() }
+
+// NewFleetArm builds a fleet arm from a WhatIf, defaulting video,
+// network and buffer the same way Counterfactual does.
+func NewFleetArm(name string, w WhatIf) (FleetArm, error) {
+	setting, err := w.setting()
+	if err != nil {
+		return FleetArm{}, err
+	}
+	return FleetArm{Name: name, Setting: setting}, nil
 }
