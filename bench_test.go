@@ -179,6 +179,68 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// benchRow synthesizes one plausible store row (three posterior
+// samples, one arm, truth attached) without running inference.
+func benchRow(i int) FleetRow {
+	m := Metrics{AvgSSIM: 0.9, RebufRatio: 0.01, AvgBitrateMbps: 2.5, NumChunks: 300}
+	return FleetRow{
+		Index:     i,
+		ID:        fmt.Sprintf("bench-%06d", i),
+		Scenario:  "bench",
+		Simulated: true,
+		SettingA:  m,
+		Arms: []FleetArmOutcome{{
+			Name:     "bba-5s",
+			Baseline: m,
+			Samples:  []Metrics{m, m, m},
+			Truth:    m,
+			HasTruth: true,
+		}},
+		Predictions: []float64{1.5},
+	}
+}
+
+// BenchmarkStoreWrite measures streaming-persistence throughput: one
+// checksummed, segmented append per completed session.
+func BenchmarkStoreWrite(b *testing.B) {
+	s, err := OpenStore(b.TempDir(), FleetStoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(benchRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQuery measures point lookups (decode + checksum verify)
+// against a multi-segment store of 1000 sessions.
+func BenchmarkStoreQuery(b *testing.B) {
+	s, err := OpenStore(b.TempDir(), FleetStoreOptions{SegmentBytes: 1 << 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := s.Append(benchRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%06d", (i*7919)%n)
+		if _, ok, err := s.Get(id); !ok || err != nil {
+			b.Fatalf("Get(%s): ok=%v err=%v", id, ok, err)
+		}
+	}
+}
+
 // BenchmarkFleetCache isolates the emission-memoization win: the same
 // single-worker fleet with the cache on and off.
 func BenchmarkFleetCache(b *testing.B) {

@@ -5,22 +5,35 @@
 // an aggregate report (per-arm metric summaries, truth coverage, cache
 // and throughput statistics).
 //
+// With -store, per-session results stream to a persistent corpus store
+// as workers finish them, and the report is rebuilt from the store —
+// which makes campaigns resumable: a killed run restarted with -resume
+// skips every session already on disk and computes only the remainder,
+// producing the exact aggregate an uninterrupted run would have.
+//
 // Usage:
 //
 //	fleet                                   # default campaign: 4 scenarios x 8 sessions, bba/bola x 5s/30s
 //	fleet -workers 8 -sessions 25           # 100 sessions on 8 workers
 //	fleet -scenarios lte,wifi -abrs bba -buffers 5
 //	fleet -chunks 300 -samples 5 -seed 7    # paper-scale sessions
+//	fleet -store campaign.store             # persist results while running
+//	fleet -store campaign.store -resume     # pick up where a killed run stopped
 //
-// Interrupting with Ctrl-C cancels the fleet promptly.
+// Interrupting with Ctrl-C cancels the fleet promptly; with -store the
+// finished sessions survive the interrupt.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"syscall"
@@ -28,38 +41,194 @@ import (
 	"veritas"
 )
 
+// options collects the parsed flags so validation is testable apart
+// from flag.Parse and os.Exit.
+type options struct {
+	workers   int
+	sessions  int
+	scenarios []string
+	chunks    int
+	samples   int
+	seed      int64
+	buffer    float64
+	abrs      []string
+	buffers   []float64
+	nocache   bool
+	progress  bool
+	storeDir  string
+	resume    bool
+}
+
+// validate rejects bad flag combinations up front, before any corpus
+// is built or worker started.
+func (o options) validate() error {
+	switch {
+	case o.workers < 0:
+		return fmt.Errorf("-workers %d is negative (0 means GOMAXPROCS)", o.workers)
+	case o.sessions <= 0:
+		return fmt.Errorf("-sessions %d must be positive", o.sessions)
+	case o.chunks < 0:
+		return fmt.Errorf("-chunks %d is negative (0 means the full clip)", o.chunks)
+	case o.samples <= 0:
+		return fmt.Errorf("-samples %d must be positive (the paper uses 5)", o.samples)
+	case o.buffer <= 0:
+		return fmt.Errorf("-buffer %g must be positive seconds", o.buffer)
+	case len(o.abrs) == 0:
+		return fmt.Errorf("-abrs must name at least one of %s", strings.Join(veritas.FleetABRs(), ","))
+	case len(o.buffers) == 0:
+		return fmt.Errorf("-buffers must list at least one size")
+	case o.resume && o.storeDir == "":
+		return fmt.Errorf("-resume needs -store: there is nowhere to resume from")
+	}
+	seenBuf := make(map[float64]bool)
+	for _, b := range o.buffers {
+		if b <= 0 {
+			return fmt.Errorf("-buffers entry %g must be positive seconds", b)
+		}
+		if seenBuf[b] {
+			// Duplicates collide on arm names ("bba-5s" twice) and
+			// double-count every session in the aggregates.
+			return fmt.Errorf("-buffers: %g listed twice", b)
+		}
+		seenBuf[b] = true
+	}
+	known := make(map[string]bool)
+	for _, s := range veritas.FleetScenarios() {
+		known[s] = true
+	}
+	seenScen := make(map[string]bool)
+	for _, s := range o.scenarios {
+		if !known[s] {
+			return fmt.Errorf("-scenarios: unknown scenario %q (have %s)",
+				s, strings.Join(veritas.FleetScenarios(), ","))
+		}
+		if seenScen[s] {
+			// Duplicates would produce sessions with colliding IDs,
+			// which a store silently collapses (last write wins).
+			return fmt.Errorf("-scenarios: %q listed twice", s)
+		}
+		seenScen[s] = true
+	}
+	seenABR := make(map[string]bool)
+	for _, a := range o.abrs {
+		ok := false
+		for _, k := range veritas.FleetABRs() {
+			if a == k {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("-abrs: unknown ABR %q (have %s)", a, strings.Join(veritas.FleetABRs(), ","))
+		}
+		if seenABR[a] {
+			return fmt.Errorf("-abrs: %q listed twice", a)
+		}
+		seenABR[a] = true
+	}
+	return nil
+}
+
+// campaignMeta fingerprints every flag that shapes results. It is
+// persisted as campaign.json inside the store directory so a later run
+// against the same store can refuse to silently mix rows computed under
+// different settings into one "coherent" aggregate.
+type campaignMeta struct {
+	Scenarios   []string
+	SessionsPer int
+	Chunks      int
+	Samples     int
+	Seed        int64
+	Buffer      float64
+	ABRs        []string
+	Buffers     []float64
+}
+
+func (o options) meta() campaignMeta {
+	return campaignMeta{
+		Scenarios:   o.scenarios,
+		SessionsPer: o.sessions,
+		Chunks:      o.chunks,
+		Samples:     o.samples,
+		Seed:        o.seed,
+		Buffer:      o.buffer,
+		ABRs:        o.abrs,
+		Buffers:     o.buffers,
+	}
+}
+
+// checkCampaignMeta records this campaign's fingerprint in a fresh
+// store and rejects a store written under different flags.
+func checkCampaignMeta(dir string, o options) error {
+	path := filepath.Join(dir, "campaign.json")
+	want := o.meta()
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		b, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return err
+		}
+		// Write-then-rename: a crash mid-write must not leave a torn
+		// JSON file that would block every later -resume.
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, b, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+	if err != nil {
+		return err
+	}
+	var have campaignMeta
+	if err := json.Unmarshal(data, &have); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if !reflect.DeepEqual(have, want) {
+		return fmt.Errorf("store %s holds a campaign run with different flags (see %s); repeat them exactly or use a fresh -store",
+			dir, path)
+	}
+	return nil
+}
+
 func main() {
-	var (
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		sessions  = flag.Int("sessions", 8, "sessions per scenario")
-		scenarios = flag.String("scenarios", "", "comma-separated scenarios (default: all of "+strings.Join(veritas.FleetScenarios(), ",")+")")
-		chunks    = flag.Int("chunks", 120, "chunks per session (0 = full 10-min clip)")
-		samples   = flag.Int("samples", 5, "Veritas posterior samples K")
-		seed      = flag.Int64("seed", 1, "base seed for the whole campaign")
-		buffer    = flag.Float64("buffer", 5, "deployed (Setting A) buffer size, seconds")
-		abrs      = flag.String("abrs", "bba,bola", "comma-separated what-if ABRs ("+strings.Join(veritas.FleetABRs(), ",")+")")
-		buffers   = flag.String("buffers", "5,30", "comma-separated what-if buffer sizes, seconds")
-		nocache   = flag.Bool("nocache", false, "disable the emission memoization cache")
-		progress  = flag.Bool("progress", false, "print per-session completions to stderr")
-	)
+	var o options
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.sessions, "sessions", 8, "sessions per scenario")
+	scenarios := flag.String("scenarios", "", "comma-separated scenarios (default: all of "+strings.Join(veritas.FleetScenarios(), ",")+")")
+	flag.IntVar(&o.chunks, "chunks", 120, "chunks per session (0 = full 10-min clip)")
+	flag.IntVar(&o.samples, "samples", 5, "Veritas posterior samples K")
+	flag.Int64Var(&o.seed, "seed", 1, "base seed for the whole campaign")
+	flag.Float64Var(&o.buffer, "buffer", 5, "deployed (Setting A) buffer size, seconds")
+	abrs := flag.String("abrs", "bba,bola", "comma-separated what-if ABRs ("+strings.Join(veritas.FleetABRs(), ",")+")")
+	buffers := flag.String("buffers", "5,30", "comma-separated what-if buffer sizes, seconds")
+	flag.BoolVar(&o.nocache, "nocache", false, "disable the emission memoization cache")
+	flag.BoolVar(&o.progress, "progress", false, "print per-session completions to stderr")
+	flag.StringVar(&o.storeDir, "store", "", "persist per-session results to this store directory")
+	flag.BoolVar(&o.resume, "resume", false, "skip sessions already present in -store")
 	flag.Parse()
 
+	o.scenarios = splitCSV(*scenarios)
+	o.abrs = splitCSV(*abrs)
+	bufVals, err := parseFloats(*buffers)
+	if err != nil {
+		fatal(fmt.Errorf("-buffers: %w", err))
+	}
+	o.buffers = bufVals
+	if err := o.validate(); err != nil {
+		fatal(err)
+	}
+
 	ccfg := veritas.CorpusConfig{
-		Scenarios:   splitCSV(*scenarios),
-		SessionsPer: *sessions,
-		NumChunks:   *chunks,
-		BufferCap:   *buffer,
-		Seed:        *seed,
+		Scenarios:   o.scenarios,
+		SessionsPer: o.sessions,
+		NumChunks:   o.chunks,
+		BufferCap:   o.buffer,
+		Seed:        o.seed,
 	}
 	corpus, err := veritas.BuildCorpus(ccfg)
 	if err != nil {
 		fatal(err)
 	}
-	bufVals, err := parseFloats(*buffers)
-	if err != nil {
-		fatal(fmt.Errorf("-buffers: %w", err))
-	}
-	arms, err := veritas.FleetMatrix(ccfg, splitCSV(*abrs), bufVals)
+	arms, err := veritas.FleetMatrix(ccfg, o.abrs, o.buffers)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,25 +237,83 @@ func main() {
 	defer stop()
 
 	fcfg := veritas.FleetConfig{
-		Workers:      *workers,
-		Samples:      *samples,
-		Seed:         *seed,
-		DisableCache: *nocache,
+		Workers:      o.workers,
+		Samples:      o.samples,
+		Seed:         o.seed,
+		DisableCache: o.nocache,
 	}
-	if *progress {
+
+	var st *veritas.FleetStore
+	if o.storeDir != "" {
+		st, err = veritas.OpenStore(o.storeDir, veritas.FleetStoreOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		if err := checkCampaignMeta(o.storeDir, o); err != nil {
+			fatal(err)
+		}
+		if rec := st.Recovered(); rec > 0 {
+			fmt.Fprintf(os.Stderr, "fleet: store recovered: dropped %d torn tail bytes from the previous run\n", rec)
+		}
+		fcfg.Sink = st
+		if o.resume {
+			skip := make(map[string]bool)
+			for _, k := range st.Keys() {
+				skip[k] = true
+			}
+			fcfg.Skip = skip
+			fmt.Fprintf(os.Stderr, "fleet: resume: %d sessions already stored\n", len(skip))
+		} else if st.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "fleet: store already holds %d sessions (use -resume to skip them)\n", st.Len())
+		}
+	}
+
+	if o.progress {
 		total := len(corpus)
 		fcfg.OnResult = func(r veritas.FleetSessionResult) {
 			fmt.Fprintf(os.Stderr, "done %s (%d arms)   [corpus of %d]\n", r.ID, len(r.Arms), total)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fleet: %d sessions x %d arms, %d posterior samples\n",
-		len(corpus), len(arms), *samples)
+		len(corpus), len(arms), o.samples)
 
 	res, err := veritas.RunFleet(ctx, fcfg, corpus, arms)
 	if err != nil {
+		if st != nil {
+			// Keep finished sessions durable for -resume; a sync
+			// failure here means they may NOT have survived, which the
+			// user must hear about before trusting -resume.
+			if serr := st.Sync(); serr != nil {
+				fmt.Fprintf(os.Stderr, "fleet: WARNING: store sync failed (%v); stored sessions may be incomplete\n", serr)
+			}
+		}
 		fatal(err)
 	}
-	if err := res.WriteReport(os.Stdout); err != nil {
+
+	if st == nil {
+		if err := res.WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Store-backed report: aggregate by re-reading what was persisted,
+	// so the report covers prior (resumed-over) runs too and is
+	// byte-identical to what the in-RAM aggregator of an uninterrupted
+	// campaign would print.
+	if err := st.Sync(); err != nil {
+		fatal(err)
+	}
+	agg, err := st.Aggregate()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== corpus report: %d sessions stored in %s ==\n", st.Len(), o.storeDir)
+	if err := agg.WriteAggregate(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if err := res.WriteEngineStats(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodOptions mirrors the flag defaults.
+func goodOptions() options {
+	return options{
+		sessions: 8,
+		chunks:   120,
+		samples:  5,
+		seed:     1,
+		buffer:   5,
+		abrs:     []string{"bba", "bola"},
+		buffers:  []float64{5, 30},
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := goodOptions().validate(); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+	o := goodOptions()
+	o.storeDir = "campaign.store"
+	o.resume = true
+	o.scenarios = []string{"lte", "wifi"}
+	if err := o.validate(); err != nil {
+		t.Fatalf("valid store+resume options rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadCombinations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*options)
+		want   string
+	}{
+		{"resume without store", func(o *options) { o.resume = true }, "-resume needs -store"},
+		{"negative workers", func(o *options) { o.workers = -2 }, "-workers"},
+		{"zero sessions", func(o *options) { o.sessions = 0 }, "-sessions"},
+		{"negative chunks", func(o *options) { o.chunks = -1 }, "-chunks"},
+		{"zero samples", func(o *options) { o.samples = 0 }, "-samples"},
+		{"nonpositive buffer", func(o *options) { o.buffer = 0 }, "-buffer"},
+		{"no abrs", func(o *options) { o.abrs = nil }, "-abrs"},
+		{"unknown abr", func(o *options) { o.abrs = []string{"vhs"} }, `unknown ABR "vhs"`},
+		{"no buffers", func(o *options) { o.buffers = nil }, "-buffers"},
+		{"negative what-if buffer", func(o *options) { o.buffers = []float64{5, -1} }, "-buffers entry"},
+		{"unknown scenario", func(o *options) { o.scenarios = []string{"dialup"} }, `unknown scenario "dialup"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := goodOptions()
+			tc.mutate(&o)
+			err := o.validate()
+			if err == nil {
+				t.Fatal("bad options accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckCampaignMeta(t *testing.T) {
+	dir := t.TempDir()
+	o := goodOptions()
+	if err := checkCampaignMeta(dir, o); err != nil {
+		t.Fatalf("fresh store: %v", err)
+	}
+	if err := checkCampaignMeta(dir, o); err != nil {
+		t.Fatalf("identical flags rejected: %v", err)
+	}
+	changed := o
+	changed.chunks = 300
+	err := checkCampaignMeta(dir, changed)
+	if err == nil {
+		t.Fatal("changed -chunks accepted against an existing campaign store")
+	}
+	if !strings.Contains(err.Error(), "different flags") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicates(t *testing.T) {
+	o := goodOptions()
+	o.scenarios = []string{"lte", "lte"}
+	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Errorf("duplicate scenarios: err = %v", err)
+	}
+	o = goodOptions()
+	o.abrs = []string{"bba", "bba"}
+	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Errorf("duplicate abrs: err = %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateBuffers(t *testing.T) {
+	o := goodOptions()
+	o.buffers = []float64{5, 5}
+	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Errorf("duplicate buffers: err = %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Command serve exposes a fleet result store over HTTP: the first
+// serving-layer brick. It opens the store read-only (a campaign may
+// still be appending to it) and answers causal-query reads — no
+// inference runs at request time, everything is served from the
+// persisted corpus through an in-process read cache.
+//
+// Endpoints:
+//
+//	GET /healthz                  liveness, store size, cache counters
+//	GET /v1/sessions[?scenario=]  list stored sessions
+//	GET /v1/sessions/{id}         one session's what-if results
+//	GET /v1/scenarios             scenario labels with session counts
+//	GET /v1/report[?scenario=]    aggregate report JSON (identical to the
+//	                              in-RAM aggregator's report for the corpus)
+//
+// Usage:
+//
+//	serve -store campaign.store                 # serve on :8077
+//	serve -store campaign.store -addr :9000 -cache 1024
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"veritas"
+)
+
+func main() {
+	var (
+		dir   = flag.String("store", "", "store directory to serve (required)")
+		addr  = flag.String("addr", ":8077", "listen address")
+		cache = flag.Int("cache", 0, "read-cache entries (0 = default 256, negative disables)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-store is required"))
+	}
+
+	st, err := veritas.OpenStore(*dir, veritas.FleetStoreOptions{ReadOnly: true})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	if rec := st.Recovered(); rec > 0 {
+		fmt.Fprintf(os.Stderr, "serve: skipped %d torn tail bytes (campaign crashed mid-append?)\n", rec)
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d sessions from %s on %s\n", st.Len(), *dir, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := veritas.ServeStore(ctx, *addr, st, *cache); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

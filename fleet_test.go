@@ -5,7 +5,13 @@ package veritas
 // exhaustively in internal/engine; these tests pin the public surface.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,5 +90,69 @@ func TestFleetMatrixValidation(t *testing.T) {
 	}
 	if _, err := FleetMatrix(ccfg, []string{"bba"}, []float64{-1}); err == nil {
 		t.Error("negative buffer should error")
+	}
+}
+
+func TestStoreFacade(t *testing.T) {
+	ccfg := CorpusConfig{SessionsPer: 1, NumChunks: 25, Seed: 2}
+	corpus, err := BuildCorpus(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms, err := FleetMatrix(ccfg, []string{"bba"}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir, FleetStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFleet(context.Background(), FleetConfig{Workers: 2, Samples: 2, Seed: 1, Sink: st}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(corpus) {
+		t.Fatalf("store holds %d sessions, want %d", st.Len(), len(corpus))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen read-only and check the HTTP layer returns the same
+	// aggregate report JSON as the in-RAM aggregator.
+	ro, err := OpenStore(dir, FleetStoreOptions{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	srv := httptest.NewServer(NewStoreHandler(ro, 16))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res.Agg.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("served report != in-RAM report\nwant %s\ngot  %s", want, got)
+	}
+
+	// Compaction keeps every session.
+	merged := filepath.Join(t.TempDir(), "merged")
+	n, err := MergeStores(merged, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(corpus) {
+		t.Fatalf("MergeStores folded %d sessions, want %d", n, len(corpus))
 	}
 }

@@ -54,8 +54,10 @@ func (c Config) withDefaults(maxObservedMbps float64) Config {
 			max = 10
 		}
 		est := c.HMM.Estimator
+		share := c.HMM.SharePowers
 		c.HMM = hmm.DefaultConfig(max)
 		c.HMM.Estimator = est
+		c.HMM.SharePowers = share
 	}
 	if c.NumSamples == 0 {
 		c.NumSamples = 5

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 
 	"veritas/internal/abduction"
@@ -52,55 +53,119 @@ func Summarize(vals []float64) Summary {
 	}
 }
 
-// Aggregator collects streamed per-session results and serves fleet
-// aggregates. Add is safe to call from worker goroutines; every
-// read-side method computes over sessions in corpus order, so the
-// aggregates are byte-identical no matter how many workers ran or in
-// what order results arrived.
-type Aggregator struct {
-	mu       sync.Mutex
-	sessions []*SessionResult // indexed by SessionResult.Index
+// SessionRow is the compact, serializable reduction of a SessionResult:
+// everything aggregation and the result store keep per session, and
+// nothing else. In particular it drops the session log and any retained
+// abduction, which is what bounds the aggregator's memory on corpora
+// whose logs would not fit in RAM.
+type SessionRow struct {
+	Index       int
+	ID          string
+	Scenario    string
+	Simulated   bool // true when Setting A was simulated (SettingA is meaningful)
+	SettingA    player.Metrics
+	Arms        []ArmOutcome
+	Predictions []float64
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
-// NewAggregator returns an aggregator for a corpus of n sessions.
-func NewAggregator(n int) *Aggregator {
-	return &Aggregator{sessions: make([]*SessionResult, n)}
-}
-
-// Add records one completed session.
-func (a *Aggregator) Add(r SessionResult) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if r.Index >= 0 && r.Index < len(a.sessions) {
-		cp := r
-		a.sessions[r.Index] = &cp
+// Row reduces the result to its aggregation row.
+func (r SessionResult) Row() SessionRow {
+	return SessionRow{
+		Index:       r.Index,
+		ID:          r.ID,
+		Scenario:    r.Scenario,
+		Simulated:   r.Log != nil && r.SettingA != (player.Metrics{}),
+		SettingA:    r.SettingA,
+		Arms:        r.Arms,
+		Predictions: r.Predictions,
+		CacheHits:   r.Cache.Hits,
+		CacheMisses: r.Cache.Misses,
 	}
 }
 
-// Completed returns the number of sessions recorded so far.
+// Sink consumes completed session results as workers finish them — the
+// engine's streaming persistence hook (e.g. a store writer). Put is
+// called from worker goroutines in completion order and must be safe
+// for concurrent use; the first Put error aborts the run.
+type Sink interface {
+	Put(SessionResult) error
+}
+
+// Aggregator collects streamed per-session rows and serves fleet
+// aggregates. Add/AddRow are safe to call from worker goroutines; every
+// read-side method computes over rows ordered by (Index, ID), so the
+// aggregates are byte-identical no matter how many workers ran, in what
+// order results arrived, or whether the rows came straight from the
+// engine or were re-read from a persistent store.
+type Aggregator struct {
+	mu       sync.Mutex
+	rows     []SessionRow
+	unsorted bool
+}
+
+// NewAggregator returns an aggregator with room for about n sessions
+// (a capacity hint, not a limit).
+func NewAggregator(n int) *Aggregator {
+	if n < 0 {
+		n = 0
+	}
+	return &Aggregator{rows: make([]SessionRow, 0, n)}
+}
+
+// Add reduces one completed session result to its row and records it.
+func (a *Aggregator) Add(r SessionResult) { a.AddRow(r.Row()) }
+
+// AddRow records one session row (e.g. re-read from a store).
+func (a *Aggregator) AddRow(row SessionRow) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rows = append(a.rows, row)
+	a.unsorted = true
+}
+
+// Completed returns the number of rows recorded so far.
 func (a *Aggregator) Completed() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var n int
-	for _, s := range a.sessions {
-		if s != nil {
-			n++
-		}
-	}
-	return n
+	return len(a.rows)
 }
 
-// snapshot returns the recorded sessions in corpus order.
-func (a *Aggregator) snapshot() []*SessionResult {
+// snapshot returns the recorded rows ordered by (Index, ID). The rows
+// themselves are shared with the aggregator and must not be mutated.
+func (a *Aggregator) snapshot() []SessionRow {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]*SessionResult, 0, len(a.sessions))
-	for _, s := range a.sessions {
-		if s != nil {
-			out = append(out, s)
+	if a.unsorted {
+		sort.Slice(a.rows, func(i, j int) bool {
+			if a.rows[i].Index != a.rows[j].Index {
+				return a.rows[i].Index < a.rows[j].Index
+			}
+			return a.rows[i].ID < a.rows[j].ID
+		})
+		a.unsorted = false
+	}
+	out := make([]SessionRow, len(a.rows))
+	copy(out, a.rows)
+	return out
+}
+
+// ArmNames returns the arm names present in the aggregate, in arm
+// order, taken from the first recorded session that ran any arms.
+func (a *Aggregator) ArmNames() []string { return armNamesOf(a.snapshot()) }
+
+func armNamesOf(rows []SessionRow) []string {
+	for _, s := range rows {
+		if len(s.Arms) > 0 {
+			names := make([]string, len(s.Arms))
+			for i, oc := range s.Arms {
+				names[i] = oc.Name
+			}
+			return names
 		}
 	}
-	return out
+	return nil
 }
 
 func armValue(oc ArmOutcome, est ArmEstimator, f abduction.MetricFn) (float64, bool) {
@@ -129,8 +194,12 @@ func armValue(oc ArmOutcome, est ArmEstimator, f abduction.MetricFn) (float64, b
 // estimator for one arm, in corpus order. Sessions missing the arm (or
 // the ground truth, for EstTruth) are skipped.
 func (a *Aggregator) Series(arm string, est ArmEstimator, f abduction.MetricFn) []float64 {
+	return seriesOf(a.snapshot(), arm, est, f)
+}
+
+func seriesOf(rows []SessionRow, arm string, est ArmEstimator, f abduction.MetricFn) []float64 {
 	var out []float64
-	for _, s := range a.snapshot() {
+	for _, s := range rows {
 		for _, oc := range s.Arms {
 			if oc.Name != arm {
 				continue
@@ -148,7 +217,7 @@ func (a *Aggregator) Series(arm string, est ArmEstimator, f abduction.MetricFn) 
 func (a *Aggregator) SettingASeries(f abduction.MetricFn) []float64 {
 	var out []float64
 	for _, s := range a.snapshot() {
-		if s.Log != nil && s.SettingA != (player.Metrics{}) {
+		if s.Simulated {
 			out = append(out, f(s.SettingA))
 		}
 	}
@@ -156,9 +225,11 @@ func (a *Aggregator) SettingASeries(f abduction.MetricFn) []float64 {
 }
 
 // Predictions returns every interventional prediction in corpus order.
-func (a *Aggregator) Predictions() []float64 {
+func (a *Aggregator) Predictions() []float64 { return predictionsOf(a.snapshot()) }
+
+func predictionsOf(rows []SessionRow) []float64 {
 	var out []float64
-	for _, s := range a.snapshot() {
+	for _, s := range rows {
 		out = append(out, s.Predictions...)
 	}
 	return out
@@ -177,8 +248,12 @@ func (a *Aggregator) CDF(arm string, est ArmEstimator, f abduction.MetricFn) []s
 // Coverage returns the fraction of sessions whose oracle outcome lies
 // inside [VeritasLow − slack, VeritasHigh + slack] for metric f.
 func (a *Aggregator) Coverage(arm string, f abduction.MetricFn, slack float64) float64 {
+	return coverageOf(a.snapshot(), arm, f, slack)
+}
+
+func coverageOf(rows []SessionRow, arm string, f abduction.MetricFn, slack float64) float64 {
 	var n, covered int
-	for _, s := range a.snapshot() {
+	for _, s := range rows {
 		for _, oc := range s.Arms {
 			if oc.Name != arm || !oc.HasTruth {
 				continue

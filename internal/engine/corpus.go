@@ -101,6 +101,7 @@ func BuildCorpus(cfg CorpusConfig) ([]SessionSpec, error) {
 			net.Seed = seed
 			corpus = append(corpus, SessionSpec{
 				ID:        fmt.Sprintf("%s-%03d", name, i),
+				Scenario:  name,
 				Trace:     gt,
 				Video:     vid,
 				NewABR:    newABR,

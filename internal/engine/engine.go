@@ -31,6 +31,7 @@ import (
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/mathx"
 	"veritas/internal/netem"
 	"veritas/internal/player"
 	"veritas/internal/tcp"
@@ -63,6 +64,21 @@ type Config struct {
 	// worker goroutines, in completion order. It must be safe for
 	// concurrent use.
 	OnResult func(SessionResult)
+	// Sink, when set, receives every completed session result in
+	// completion order — the streaming persistence hook behind
+	// `cmd/fleet -store`. Put is called from worker goroutines; the
+	// first Put error aborts the run. Setting a Sink also bounds the
+	// run's memory: Result.Sessions then retains only the compact
+	// per-session fields (logs — and abductions, unless
+	// KeepAbductions — are dropped once sunk), since the full data
+	// lives in the sink.
+	Sink Sink
+	// Skip holds effective session IDs (SessionSpec.ID, or the
+	// "session-<index>" default) to leave out of the run: they are not
+	// simulated, aggregated or sunk, but keep their corpus index — and
+	// therefore their derived abduction seed — so a resumed campaign
+	// computes exactly what an uninterrupted one would have.
+	Skip map[string]bool
 }
 
 func (c Config) workers() int {
@@ -98,6 +114,10 @@ func (c Config) shardSize(n, workers int) int {
 type SessionSpec struct {
 	// ID labels the session in results; empty means "session-<index>".
 	ID string
+	// Scenario labels the bandwidth regime the session came from; it
+	// rides through results into the store, where the serving layer
+	// groups and filters by it. Optional.
+	Scenario string
 	// Trace is the ground-truth bandwidth. Required unless Log is set;
 	// when present alongside arms it also enables the oracle replay.
 	Trace *trace.Trace
@@ -154,6 +174,7 @@ type ArmOutcome struct {
 type SessionResult struct {
 	Index    int
 	ID       string
+	Scenario string
 	Log      *player.SessionLog
 	SettingA player.Metrics // zero when the spec supplied Log directly
 	Arms     []ArmOutcome
@@ -166,19 +187,30 @@ type SessionResult struct {
 
 // Result is a completed fleet run.
 type Result struct {
-	Sessions []SessionResult // in corpus order
+	Sessions []SessionResult // in corpus order; zero entries for skipped sessions
 	Agg      *Aggregator
 	Cache    CacheStats
+	// Powers counts shared transition-power cache traffic during the
+	// run: one lookup per abduced session, a hit when the session's
+	// capacity grid was already in the process-wide cache. The counts
+	// are a delta of process-global counters, so they are best-effort
+	// when several fleet runs (or other mathx.SharedPowers users)
+	// overlap in one process.
+	Powers CacheStats
+	// Executed is the number of sessions actually run (corpus size
+	// minus the resume skip set).
+	Executed int
 	Workers  int
 	Elapsed  time.Duration
 }
 
-// SessionsPerSecond is the batch throughput of the run.
+// SessionsPerSecond is the batch throughput of the run over the
+// sessions actually executed.
 func (r *Result) SessionsPerSecond() float64 {
 	if r.Elapsed <= 0 {
 		return 0
 	}
-	return float64(len(r.Sessions)) / r.Elapsed.Seconds()
+	return float64(r.Executed) / r.Elapsed.Seconds()
 }
 
 // Run executes the fleet: every corpus session through the full
@@ -206,6 +238,16 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 	start := time.Now()
 	workers := cfg.workers()
 	shardSize := cfg.shardSize(len(corpus), workers)
+	executed := len(corpus)
+	if len(cfg.Skip) > 0 {
+		executed = 0
+		for i, spec := range corpus {
+			if !cfg.Skip[specID(spec, i)] {
+				executed++
+			}
+		}
+	}
+	powHits0, powMisses0 := mathx.SharedPowerStats()
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -249,16 +291,34 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 					if runCtx.Err() != nil {
 						return
 					}
+					if cfg.Skip[specID(corpus[i], i)] {
+						continue
+					}
 					res, err := runOne(cfg, corpus[i], arms, i)
 					if err != nil {
 						fail(fmt.Errorf("engine: session %d (%s): %w", i, corpus[i].ID, err))
 						return
 					}
-					results[i] = res
 					agg.Add(res)
+					if cfg.Sink != nil {
+						if err := cfg.Sink.Put(res); err != nil {
+							fail(fmt.Errorf("engine: session %d (%s): sink: %w", i, corpus[i].ID, err))
+							return
+						}
+					}
 					if cfg.OnResult != nil {
 						cfg.OnResult(res)
 					}
+					if cfg.Sink != nil {
+						// The sink owns the full data now; retaining
+						// every log in Result.Sessions would defeat
+						// the streaming path's bounded memory.
+						res.Log = nil
+						if !cfg.KeepAbductions {
+							res.Abd = nil
+						}
+					}
+					results[i] = res
 				}
 			}
 		}()
@@ -276,23 +336,32 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 		cache.Hits += r.Cache.Hits
 		cache.Misses += r.Cache.Misses
 	}
+	powHits, powMisses := mathx.SharedPowerStats()
 	return &Result{
 		Sessions: results,
 		Agg:      agg,
 		Cache:    cache,
+		Powers:   CacheStats{Hits: powHits - powHits0, Misses: powMisses - powMisses0},
+		Executed: executed,
 		Workers:  workers,
 		Elapsed:  time.Since(start),
 	}, nil
+}
+
+// specID returns the effective session ID the engine uses everywhere:
+// the spec's own ID, or the index-derived default.
+func specID(spec SessionSpec, idx int) string {
+	if spec.ID != "" {
+		return spec.ID
+	}
+	return fmt.Sprintf("session-%d", idx)
 }
 
 // runOne executes the full pipeline for one session. It is pure given
 // the spec and index, which is what makes fleet results independent of
 // worker count and scheduling.
 func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, error) {
-	res := SessionResult{Index: idx, ID: spec.ID}
-	if res.ID == "" {
-		res.ID = fmt.Sprintf("session-%d", idx)
-	}
+	res := SessionResult{Index: idx, ID: specID(spec, idx), Scenario: spec.Scenario}
 
 	log := spec.Log
 	if log == nil {
@@ -345,6 +414,9 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, e
 	if !cfg.DisableCache {
 		cache = newEstimatorCache()
 		acfg.HMM.Estimator = cache.estimate
+		// Sessions with equal capacity grids share one process-wide
+		// transition-power cache (see mathx.SharedPowers).
+		acfg.HMM.SharePowers = true
 	}
 	abd, err := abduction.Abduct(log, acfg)
 	if err != nil {

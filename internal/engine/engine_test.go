@@ -67,7 +67,7 @@ func fingerprint(res *Result) string {
 		{"rebuf", abduction.MetricRebufRatio},
 		{"bitrate", abduction.MetricAvgBitrate},
 	}
-	for _, arm := range res.armNames() {
+	for _, arm := range res.Agg.ArmNames() {
 		for _, m := range metrics {
 			for _, est := range []ArmEstimator{EstTruth, EstBaseline, EstVeritasLow, EstVeritasHigh, EstVeritasMid} {
 				fmt.Fprintf(&b, "%s/%s/%s %v\n", arm, m.label, est, res.Agg.Series(arm, est, m.fn))
@@ -314,5 +314,98 @@ func TestReportRenders(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+// TestSharedPowerAccounting checks the fleet-level transition-power
+// cache stats: one lookup per abduced session, and sessions with equal
+// capacity grids must share (hit) rather than recompute.
+func TestSharedPowerAccounting(t *testing.T) {
+	// Identical sessions per scenario → within a scenario the observed
+	// max throughput (and so the grid) repeats across seeds often
+	// enough that at least one hit must occur.
+	corpus := testCorpus(t, 2)
+	res, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Powers.Lookups(); got != uint64(len(corpus)) {
+		t.Errorf("power-cache lookups = %d, want one per session (%d)", got, len(corpus))
+	}
+	if res.Powers.Hits == 0 {
+		t.Error("no shared power-cache hits across a scenario-repeating corpus")
+	}
+
+	// DisableCache also turns off grid sharing.
+	res2, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1, DisableCache: true}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Powers.Lookups() != 0 {
+		t.Errorf("DisableCache run recorded %d power-cache lookups", res2.Powers.Lookups())
+	}
+}
+
+// TestSkipLeavesIndicesStable pins the resume contract inside the
+// engine: a skipped prefix must not shift the indices — and therefore
+// the derived seeds — of the sessions that do run.
+func TestSkipLeavesIndicesStable(t *testing.T) {
+	corpus := testCorpus(t, 1) // 4 sessions
+	full, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := map[string]bool{corpus[0].ID: true, corpus[2].ID: true}
+	part, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1, Skip: skip}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Executed != len(corpus)-2 {
+		t.Errorf("Executed = %d, want %d", part.Executed, len(corpus)-2)
+	}
+	if got := part.Agg.Completed(); got != len(corpus)-2 {
+		t.Errorf("aggregator recorded %d sessions, want %d", got, len(corpus)-2)
+	}
+	for i, s := range part.Sessions {
+		if skip[corpus[i].ID] {
+			if s.ID != "" {
+				t.Errorf("skipped session %d has a result", i)
+			}
+			continue
+		}
+		if s.Index != full.Sessions[i].Index || s.ID != full.Sessions[i].ID {
+			t.Fatalf("session %d shifted: %s/%d vs %s/%d", i, s.ID, s.Index, full.Sessions[i].ID, full.Sessions[i].Index)
+		}
+		if s.SettingA != full.Sessions[i].SettingA {
+			t.Errorf("session %s: SettingA differs between full and skipped runs", s.ID)
+		}
+	}
+}
+
+// dropSink discards results; it only exists to flip the engine into
+// streaming mode.
+type dropSink struct{}
+
+func (dropSink) Put(SessionResult) error { return nil }
+
+// TestSinkBoundsRetention pins the streaming path's memory contract:
+// with a sink, Result.Sessions must not pin session logs (the sink owns
+// the full data).
+func TestSinkBoundsRetention(t *testing.T) {
+	corpus := testCorpus(t, 1)[:2]
+	res, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1, Sink: dropSink{}}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sessions {
+		if s.Log != nil || s.Abd != nil {
+			t.Fatalf("session %s retained Log/Abd despite a sink", s.ID)
+		}
+		if s.ID == "" {
+			t.Fatal("compact retention lost the session identity")
+		}
+	}
+	if got := res.Agg.SettingASeries(abduction.MetricSSIM); len(got) != 2 {
+		t.Errorf("aggregator lost Setting-A rows under a sink: %d, want 2", len(got))
 	}
 }

@@ -23,21 +23,80 @@ var reportMetrics = []struct {
 
 var reportEstimators = []ArmEstimator{EstTruth, EstBaseline, EstVeritasLow, EstVeritasHigh}
 
-// WriteReport renders the fleet run as an aligned-text aggregate
-// report: one block per what-if arm with mean/percentile rows for every
-// metric and estimator, then cache and throughput statistics.
-func (r *Result) WriteReport(w io.Writer) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== fleet report: %d sessions, %d workers ==\n", len(r.Sessions), r.Workers)
+// MetricAggregate is one metric's fleet aggregate for one arm: a
+// Summary per estimator, plus truth coverage of the Veritas range when
+// oracle outcomes are present.
+type MetricAggregate struct {
+	Metric        string
+	Estimators    map[ArmEstimator]Summary
+	Coverage      *float64 `json:",omitempty"`
+	CoverageSlack float64  `json:",omitempty"`
+}
 
-	arms := r.armNames()
-	for _, arm := range arms {
+// ArmAggregate is one arm's block of metric aggregates.
+type ArmAggregate struct {
+	Arm     string
+	Metrics []MetricAggregate
+}
+
+// Report is the serializable aggregate of a corpus — what cmd/serve
+// returns as JSON and what the determinism tests compare byte-for-byte
+// between the in-RAM and store-backed aggregation paths. It carries no
+// wall-clock or worker-count fields, so equal corpora produce equal
+// reports however they were computed.
+type Report struct {
+	Sessions    int
+	Arms        []ArmAggregate
+	Predictions *Summary `json:",omitempty"`
+}
+
+// Report computes the aggregate report over everything recorded so
+// far. One snapshot of the rows feeds every series, so the cost of a
+// report is a handful of passes over the corpus, not a copy per
+// (arm, metric, estimator) cell.
+func (a *Aggregator) Report() *Report {
+	rows := a.snapshot()
+	rep := &Report{Sessions: len(rows)}
+	for _, arm := range armNamesOf(rows) {
+		ar := ArmAggregate{Arm: arm}
+		for _, m := range reportMetrics {
+			ma := MetricAggregate{Metric: m.label, Estimators: map[ArmEstimator]Summary{}}
+			for _, est := range reportEstimators {
+				if s := Summarize(seriesOf(rows, arm, est, m.fn)); s.N > 0 {
+					ma.Estimators[est] = s
+				}
+			}
+			if _, ok := ma.Estimators[EstTruth]; ok {
+				c := coverageOf(rows, arm, m.fn, m.slack)
+				ma.Coverage = &c
+				ma.CoverageSlack = m.slack
+			}
+			ar.Metrics = append(ar.Metrics, ma)
+		}
+		rep.Arms = append(rep.Arms, ar)
+	}
+	if preds := predictionsOf(rows); len(preds) > 0 {
+		s := Summarize(preds)
+		rep.Predictions = &s
+	}
+	return rep
+}
+
+// WriteAggregate renders the aggregate blocks as aligned text: one
+// block per what-if arm with mean/percentile rows for every metric and
+// estimator plus truth coverage, then the interventional-prediction
+// summary. It is the body shared by Result.WriteReport and the
+// store-backed report path in cmd/fleet.
+func (a *Aggregator) WriteAggregate(w io.Writer) error {
+	var b strings.Builder
+	rows := a.snapshot()
+	for _, arm := range armNamesOf(rows) {
 		fmt.Fprintf(&b, "\n-- arm: %s --\n", arm)
 		fmt.Fprintf(&b, "%-14s %-13s %9s %9s %9s %9s %9s\n",
 			"metric", "estimator", "mean", "P10", "P50", "P90", "max")
 		for _, m := range reportMetrics {
 			for _, est := range reportEstimators {
-				s := r.Agg.Summary(arm, est, m.fn)
+				s := Summarize(seriesOf(rows, arm, est, m.fn))
 				if s.N == 0 {
 					continue
 				}
@@ -46,39 +105,57 @@ func (r *Result) WriteReport(w io.Writer) error {
 			}
 		}
 		for _, m := range reportMetrics {
-			if len(r.Agg.Series(arm, EstTruth, m.fn)) == 0 {
+			if len(seriesOf(rows, arm, EstTruth, m.fn)) == 0 {
 				continue
 			}
 			fmt.Fprintf(&b, "coverage: truth inside Veritas range (±%g) on %.0f%% of sessions [%s]\n",
-				m.slack, r.Agg.Coverage(arm, m.fn, m.slack)*100, m.label)
+				m.slack, coverageOf(rows, arm, m.fn, m.slack)*100, m.label)
 		}
 	}
 
-	if preds := r.Agg.Predictions(); len(preds) > 0 {
+	if preds := predictionsOf(rows); len(preds) > 0 {
 		s := Summarize(preds)
 		fmt.Fprintf(&b, "\n-- interventional download-time predictions --\n")
 		fmt.Fprintf(&b, "n %d  mean %.4g s  P10 %.4g  P50 %.4g  P90 %.4g\n",
 			s.N, s.Mean, s.P10, s.P50, s.P90)
 	}
-
-	fmt.Fprintf(&b, "\n-- engine --\n")
-	fmt.Fprintf(&b, "emission cache: %d lookups, %.1f%% hit rate (%d hits, %d misses)\n",
-		r.Cache.Lookups(), r.Cache.HitRate()*100, r.Cache.Hits, r.Cache.Misses)
-	fmt.Fprintf(&b, "elapsed %v, %.2f sessions/sec\n", r.Elapsed.Round(1e6), r.SessionsPerSecond())
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// armNames returns the arm names present in the run, in arm order.
-func (r *Result) armNames() []string {
-	for _, s := range r.Sessions {
-		if len(s.Arms) > 0 {
-			names := make([]string, len(s.Arms))
-			for i, a := range s.Arms {
-				names[i] = a.Name
-			}
-			return names
-		}
+// WriteReport renders the fleet run as an aligned-text aggregate
+// report: one block per what-if arm with mean/percentile rows for every
+// metric and estimator, then cache and throughput statistics.
+func (r *Result) WriteReport(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fleet report: %d sessions, %d workers ==\n", len(r.Sessions), r.Workers)
+	if r.Executed < len(r.Sessions) {
+		fmt.Fprintf(&b, "(%d executed, %d skipped by the resume set)\n",
+			r.Executed, len(r.Sessions)-r.Executed)
 	}
-	return nil
+	if err := r.Agg.WriteAggregate(&b); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	return r.WriteEngineStats(w)
+}
+
+// WriteEngineStats renders the run's cache and throughput footer — the
+// block shared by WriteReport and the store-backed report path in
+// cmd/fleet.
+func (r *Result) WriteEngineStats(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n-- engine --\n")
+	fmt.Fprintf(&b, "emission cache: %d lookups, %.1f%% hit rate (%d hits, %d misses)\n",
+		r.Cache.Lookups(), r.Cache.HitRate()*100, r.Cache.Hits, r.Cache.Misses)
+	if r.Powers.Lookups() > 0 {
+		fmt.Fprintf(&b, "transition-power cache: %d lookups, %.1f%% shared (%d hits, %d new grids)\n",
+			r.Powers.Lookups(), r.Powers.HitRate()*100, r.Powers.Hits, r.Powers.Misses)
+	}
+	fmt.Fprintf(&b, "elapsed %v, %d sessions executed (%.2f sessions/sec)\n",
+		r.Elapsed.Round(1e6), r.Executed, r.SessionsPerSecond())
+	_, err := io.WriteString(w, b.String())
+	return err
 }

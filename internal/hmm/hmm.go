@@ -57,6 +57,13 @@ type Config struct {
 	// of, e.g., BBR, and the rest of the inference machinery is reused
 	// unchanged.
 	Estimator func(gtbwMbps float64, st tcp.State, sizeBytes float64) float64
+	// SharePowers serves transition powers A^k from a process-wide
+	// cache keyed by the transition matrix's fingerprint
+	// (mathx.SharedPowers), so fleets of sessions with identical
+	// capacity grids compute each power once instead of once per
+	// session. Inference results are unchanged: shared and private
+	// caches build powers by the same sequential walk.
+	SharePowers bool
 }
 
 // DefaultConfig mirrors the paper's hyperparameters for a grid reaching
@@ -124,12 +131,18 @@ func New(cfg Config) (*Model, error) {
 	for i := range init {
 		init[i] = 1 / float64(n)
 	}
+	var powCache *mathx.PowerCache
+	if cfg.SharePowers {
+		powCache = mathx.SharedPowers(trans)
+	} else {
+		powCache = mathx.NewPowerCache(trans)
+	}
 	return &Model{
 		cfg:      cfg,
 		states:   states,
 		initDist: init,
 		trans:    trans,
-		powCache: mathx.NewPowerCache(trans),
+		powCache: powCache,
 	}, nil
 }
 

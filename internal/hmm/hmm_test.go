@@ -461,3 +461,70 @@ func TestCustomEstimatorHook(t *testing.T) {
 			md.Capacity(pathDefault[5]))
 	}
 }
+
+// TestSharePowersDoesNotChangeInference pins that the process-wide
+// transition-power cache is purely a performance optimization: Viterbi
+// paths, posteriors and samples are identical with and without it.
+func TestSharePowersDoesNotChangeInference(t *testing.T) {
+	obs := []Observation{
+		obsFor(4, 4e6, 0), obsFor(4, 4e6, 2), obsFor(5, 2e6, 3),
+		obsFor(6, 4e6, 7), obsFor(6, 4e6, 8), obsFor(5, 1e6, 12),
+	}
+	private := testModel(t, 10)
+	cfg := DefaultConfig(10)
+	cfg.SharePowers = true
+	shared, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the shared-cache model first so the second model observes a
+	// pre-warmed cache (the worst case for determinism).
+	shared2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, vs, err := private.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*Model{"cold": shared, "warm": shared2} {
+		p, s, err := m.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != vs {
+			t.Errorf("%s shared model: Viterbi score %v, want %v", name, s, vs)
+		}
+		for i := range p {
+			if p[i] != vp[i] {
+				t.Fatalf("%s shared model: Viterbi path differs at %d", name, i)
+			}
+		}
+		post, err := m.ForwardBackward(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPost, err := private.ForwardBackward(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if post.LogLikelihood != wantPost.LogLikelihood {
+			t.Errorf("%s shared model: log-likelihood %v, want %v", name, post.LogLikelihood, wantPost.LogLikelihood)
+		}
+		paths, err := m.SampleK(obs, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPaths, err := private.SampleK(obs, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range paths {
+			for i := range paths[k] {
+				if paths[k][i] != wantPaths[k][i] {
+					t.Fatalf("%s shared model: sample %d differs at %d", name, k, i)
+				}
+			}
+		}
+	}
+}

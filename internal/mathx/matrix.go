@@ -8,10 +8,13 @@
 package mathx
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Matrix is a dense row-major matrix.
@@ -203,10 +206,46 @@ func (m *Matrix) String() string {
 	return b.String()
 }
 
+// Equal reports whether m and b have the same shape and bit-identical
+// elements.
+func (m *Matrix) Equal(b *Matrix) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the matrix shape and the
+// raw bits of its elements — the key the shared power cache uses to
+// recognize identical transition matrices across sessions.
+func (m *Matrix) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.Rows)<<32|uint64(uint32(m.Cols)))
+	h.Write(buf[:])
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
 // PowerCache memoizes powers of a fixed square matrix. The EHMM takes
 // powers A^Δn for the (small, repeating) set of inter-chunk gaps Δn, so a
 // map cache eliminates almost all of the multiplication work.
+//
+// The cache is safe for concurrent use: caches obtained from
+// SharedPowers are read and grown by many fleet workers at once.
+// Powers are always built by the same sequential walk (left-
+// multiplying the base), so a shared, pre-warmed cache returns
+// bit-identical matrices to a private one.
 type PowerCache struct {
+	mu     sync.RWMutex
 	base   *Matrix
 	powers map[int]*Matrix
 }
@@ -229,6 +268,14 @@ func (c *PowerCache) Pow(k int) *Matrix {
 	if k < 0 {
 		panic("mathx: PowerCache.Pow requires k >= 0")
 	}
+	c.mu.RLock()
+	m, ok := c.powers[k]
+	c.mu.RUnlock()
+	if ok {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if m, ok := c.powers[k]; ok {
 		return m
 	}
@@ -241,7 +288,7 @@ func (c *PowerCache) Pow(k int) *Matrix {
 			best = p
 		}
 	}
-	m := c.powers[best]
+	m = c.powers[best]
 	for p := best; p < k; p++ {
 		m = m.Mul(c.base)
 		c.powers[p+1] = m
@@ -251,3 +298,49 @@ func (c *PowerCache) Pow(k int) *Matrix {
 
 // Base returns a copy of the cached base matrix.
 func (c *PowerCache) Base() *Matrix { return c.base.Clone() }
+
+// sharedPowers is the process-wide transition-power registry: fleets of
+// sessions whose models use identical transition matrices (equal
+// capacity grids) share one PowerCache instead of recomputing A^Δn per
+// session. Keyed by Matrix.Fingerprint with an equality check against
+// collisions; bounded so adversarial matrix diversity cannot grow it
+// without limit.
+var sharedPowers = struct {
+	mu           sync.Mutex
+	caches       map[uint64]*PowerCache
+	hits, misses uint64
+}{caches: make(map[uint64]*PowerCache)}
+
+// sharedPowersCap bounds the registry. Grids in a fleet are few (one
+// per distinct MaxMbps after quantization); past the cap new matrices
+// get private caches and are still counted as misses.
+const sharedPowersCap = 256
+
+// SharedPowers returns a process-wide PowerCache for base: sessions
+// with bit-identical matrices get the same cache, so transition powers
+// are computed once per grid rather than once per session. On a
+// fingerprint collision (hash equal, matrix different) or when the
+// registry is full, a private cache is returned.
+func SharedPowers(base *Matrix) *PowerCache {
+	fp := base.Fingerprint()
+	sharedPowers.mu.Lock()
+	defer sharedPowers.mu.Unlock()
+	if c, ok := sharedPowers.caches[fp]; ok && c.base.Equal(base) {
+		sharedPowers.hits++
+		return c
+	}
+	sharedPowers.misses++
+	c := NewPowerCache(base)
+	if _, collided := sharedPowers.caches[fp]; !collided && len(sharedPowers.caches) < sharedPowersCap {
+		sharedPowers.caches[fp] = c
+	}
+	return c
+}
+
+// SharedPowerStats returns the cumulative hit/miss counts of
+// SharedPowers lookups since process start.
+func SharedPowerStats() (hits, misses uint64) {
+	sharedPowers.mu.Lock()
+	defer sharedPowers.mu.Unlock()
+	return sharedPowers.hits, sharedPowers.misses
+}

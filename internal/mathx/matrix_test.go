@@ -2,6 +2,7 @@ package mathx
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -200,4 +201,65 @@ func TestNewMatrixPanicsOnBadShape(t *testing.T) {
 		}
 	}()
 	NewMatrix(0, 3)
+}
+
+func TestFingerprintAndEqual(t *testing.T) {
+	a, _ := FromRows([][]float64{{0.7, 0.3}, {0.4, 0.6}})
+	b, _ := FromRows([][]float64{{0.7, 0.3}, {0.4, 0.6}})
+	c, _ := FromRows([][]float64{{0.7, 0.3}, {0.4, 0.6000001}})
+	if !a.Equal(b) || a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal matrices must share a fingerprint")
+	}
+	if a.Equal(c) || a.Fingerprint() == c.Fingerprint() {
+		t.Error("different matrices should differ in fingerprint")
+	}
+	d, _ := FromRows([][]float64{{0.7, 0.3, 0.4, 0.6}}) // same data, other shape
+	if a.Equal(d) || a.Fingerprint() == d.Fingerprint() {
+		t.Error("shape must be part of the fingerprint")
+	}
+}
+
+func TestSharedPowersReusesCaches(t *testing.T) {
+	// A base unique to this test so the process-wide registry stats are
+	// attributable.
+	base, _ := FromRows([][]float64{{0.8125, 0.1875}, {0.34375, 0.65625}})
+	h0, m0 := SharedPowerStats()
+	c1 := SharedPowers(base)
+	c2 := SharedPowers(base.Clone())
+	h1, m1 := SharedPowerStats()
+	if c1 != c2 {
+		t.Fatal("identical matrices got distinct shared caches")
+	}
+	if h1-h0 != 1 || m1-m0 != 1 {
+		t.Errorf("stats delta = %d hits %d misses, want 1 and 1", h1-h0, m1-m0)
+	}
+	// Shared caches serve the same powers a private cache computes.
+	private := NewPowerCache(base)
+	for _, k := range []int{3, 1, 9} {
+		got, want := c1.Pow(k), private.Pow(k)
+		if !got.Equal(want) {
+			t.Fatalf("shared Pow(%d) differs from private", k)
+		}
+	}
+}
+
+func TestSharedPowersConcurrent(t *testing.T) {
+	base, _ := FromRows([][]float64{{0.84375, 0.15625}, {0.21875, 0.78125}})
+	want := NewPowerCache(base)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := SharedPowers(base)
+			for k := 0; k < 40; k++ {
+				got := c.Pow((k*7 + w) % 23)
+				if !got.Equal(want.Pow((k*7 + w) % 23)) {
+					t.Errorf("concurrent shared Pow mismatch at k=%d", (k*7+w)%23)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

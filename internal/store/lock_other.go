@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// Non-unix platforms have no flock; writable stores fall back to no
+// inter-process lock (single-writer discipline is then on the caller).
+func (s *Store) acquireLock() error { return nil }
+
+func (s *Store) releaseLock() {}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireLock takes an exclusive, non-blocking flock on dir/LOCK. The
+// kernel releases the lock when the holding process exits — however it
+// died — so a crashed campaign never needs manual lock cleanup before
+// -resume.
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %s is locked by another writer", s.dir)
+	}
+	s.lock = f
+	return nil
+}
+
+func (s *Store) releaseLock() {
+	if s.lock != nil {
+		s.lock.Close() // closing the descriptor drops the flock
+		s.lock = nil
+	}
+}

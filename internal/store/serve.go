@@ -1,0 +1,253 @@
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"veritas/internal/engine"
+)
+
+// ServeOptions configures the HTTP query handler.
+type ServeOptions struct {
+	// CacheEntries bounds the in-process read cache of decoded session
+	// rows (default 256; negative disables caching).
+	CacheEntries int
+}
+
+func (o ServeOptions) cacheEntries() int {
+	if o.CacheEntries == 0 {
+		return 256
+	}
+	if o.CacheEntries < 0 {
+		return 0
+	}
+	return o.CacheEntries
+}
+
+// NewHandler returns the HTTP query API over a store — the first brick
+// of the serving layer: results persisted by campaigns are queryable
+// without re-running any inference.
+//
+//	GET /healthz                  liveness + store and cache counters
+//	GET /v1/sessions[?scenario=]  list stored sessions (index only, no payload reads)
+//	GET /v1/sessions/{id}         one session's full what-if results
+//	GET /v1/scenarios             scenario labels with session counts
+//	GET /v1/report[?scenario=]    aggregate report (same JSON as the in-RAM aggregator)
+//
+// Hot sessions are served from a bounded LRU of decoded rows, and
+// aggregate reports are cached per scenario filter. The report cache is
+// keyed to the store's session count, so a handler over a still-growing
+// writable store (a campaign appending through the same *Store handle)
+// recomputes when sessions land. A read-only store is a snapshot: its
+// index is fixed at Open, so the handler serves the corpus as of that
+// moment — restart (or reopen) to pick up a live campaign's progress.
+type handler struct {
+	s    *Store
+	mux  *http.ServeMux
+	rows *rowCache
+
+	mu      sync.Mutex
+	reports map[string]cachedReport
+}
+
+type cachedReport struct {
+	gen  uint64
+	body []byte
+}
+
+// NewHandler builds the query handler over an open store.
+func NewHandler(s *Store, opt ServeOptions) http.Handler {
+	h := &handler{
+		s:       s,
+		rows:    newRowCache(opt.cacheEntries()),
+		reports: make(map[string]cachedReport),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.health)
+	mux.HandleFunc("GET /v1/sessions", h.sessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", h.session)
+	mux.HandleFunc("GET /v1/scenarios", h.scenarios)
+	mux.HandleFunc("GET /v1/report", h.report)
+	h.mux = mux
+	return h
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (h *handler) health(w http.ResponseWriter, r *http.Request) {
+	hits, misses := h.rows.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"sessions":       h.s.Len(),
+		"recoveredBytes": h.s.Recovered(),
+		"cacheHits":      hits,
+		"cacheMisses":    misses,
+	})
+}
+
+func (h *handler) sessions(w http.ResponseWriter, r *http.Request) {
+	infos := h.s.Sessions(r.URL.Query().Get("scenario"))
+	if infos == nil {
+		infos = []SessionInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(infos), "sessions": infos})
+}
+
+func (h *handler) session(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// The record's version (its on-disk location) gates the cache:
+	// overwriting a session moves it, so the stale row misses, while
+	// untouched hot sessions keep hitting however much the rest of the
+	// store grows.
+	ver, ok := h.s.Version(id)
+	if !ok {
+		http.Error(w, "unknown session "+id, http.StatusNotFound)
+		return
+	}
+	if row, ok := h.rows.get(id, ver); ok {
+		writeJSON(w, http.StatusOK, row)
+		return
+	}
+	row, ok, err := h.s.Get(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, "unknown session "+id, http.StatusNotFound)
+		return
+	}
+	h.rows.put(id, ver, row)
+	writeJSON(w, http.StatusOK, row)
+}
+
+func (h *handler) scenarios(w http.ResponseWriter, r *http.Request) {
+	scens := h.s.Scenarios()
+	if scens == nil {
+		scens = []ScenarioInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scens})
+}
+
+func (h *handler) report(w http.ResponseWriter, r *http.Request) {
+	scenario := r.URL.Query().Get("scenario")
+	// Cache first: a cached body at the current generation proves the
+	// scenario was valid when it was built and nothing changed since,
+	// so the hot path skips the O(sessions) validation scan entirely.
+	gen := h.s.Generation()
+	h.mu.Lock()
+	if c, ok := h.reports[scenario]; ok && c.gen == gen {
+		h.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(c.body)
+		return
+	}
+	h.mu.Unlock()
+	if scenario != "" {
+		// Reject unknown scenarios: an empty 200 report would mask
+		// typos, and caching per arbitrary query value would let
+		// clients grow the report cache without bound.
+		known := false
+		for _, sc := range h.s.Scenarios() {
+			if sc.Scenario == scenario {
+				known = true
+				break
+			}
+		}
+		if !known {
+			http.Error(w, "unknown scenario "+scenario, http.StatusNotFound)
+			return
+		}
+	}
+
+	agg, err := h.s.AggregateScenario(scenario)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, err := json.Marshal(agg.Report())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h.mu.Lock()
+	h.reports[scenario] = cachedReport{gen: gen, body: body}
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// rowCache is a small mutex-guarded LRU of decoded session rows.
+type rowCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recent
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type rowItem struct {
+	key string
+	ver string
+	row engine.SessionRow
+}
+
+func newRowCache(capacity int) *rowCache {
+	return &rowCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached row for key only if it was cached at the same
+// record version; a stale entry counts as a miss (and is replaced on
+// the following put).
+func (c *rowCache) get(key, ver string) (engine.SessionRow, bool) {
+	if c.cap == 0 {
+		return engine.SessionRow{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok && el.Value.(rowItem).ver == ver {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(rowItem).row, true
+	}
+	c.misses++
+	return engine.SessionRow{}, false
+}
+
+func (c *rowCache) put(key, ver string, row engine.SessionRow) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = rowItem{key: key, ver: ver, row: row}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(rowItem{key: key, ver: ver, row: row})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(rowItem).key)
+	}
+}
+
+func (c *rowCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"veritas/internal/engine"
+)
+
+// serveFixture runs a small real campaign into a store and returns the
+// handler plus the in-RAM run for comparison.
+func serveFixture(t *testing.T) (http.Handler, *engine.Result, *Store) {
+	t.Helper()
+	corpus, arms := fleetCorpus(t)
+	dir := t.TempDir()
+	st, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(context.Background(), engine.Config{Workers: 2, Samples: 2, Seed: 1, Sink: st}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ro.Close() })
+	return NewHandler(ro, ServeOptions{CacheEntries: 8}), res, ro
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, body
+}
+
+func TestServeSessionsAndScenarios(t *testing.T) {
+	h, res, _ := serveFixture(t)
+
+	code, body := get(t, h, "/v1/sessions")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/sessions: %d %s", code, body)
+	}
+	var list struct {
+		Count    int
+		Sessions []SessionInfo
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != len(res.Sessions) {
+		t.Errorf("listed %d sessions, want %d", list.Count, len(res.Sessions))
+	}
+
+	code, body = get(t, h, "/v1/sessions?scenario=lte")
+	var lte struct{ Sessions []SessionInfo }
+	if err := json.Unmarshal(body, &lte); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || len(lte.Sessions) != 1 || lte.Sessions[0].Scenario != "lte" {
+		t.Errorf("scenario filter: code %d sessions %+v", code, lte.Sessions)
+	}
+
+	code, body = get(t, h, "/v1/scenarios")
+	var sc struct{ Scenarios []ScenarioInfo }
+	if err := json.Unmarshal(body, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || len(sc.Scenarios) != len(engine.Scenarios()) {
+		t.Errorf("/v1/scenarios: code %d got %+v", code, sc.Scenarios)
+	}
+}
+
+func TestServeSessionFetchAndCache(t *testing.T) {
+	h, res, _ := serveFixture(t)
+	id := res.Sessions[0].ID
+
+	code, body := get(t, h, "/v1/sessions/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("session fetch: %d %s", code, body)
+	}
+	var row engine.SessionRow
+	if err := json.Unmarshal(body, &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.ID != id || len(row.Arms) == 0 {
+		t.Errorf("served row %+v missing results", row)
+	}
+
+	// Second fetch must be served from the read cache.
+	_, again := get(t, h, "/v1/sessions/"+id)
+	if !bytes.Equal(body, again) {
+		t.Error("cached fetch returned different bytes")
+	}
+	_, health := get(t, h, "/healthz")
+	var hz struct {
+		CacheHits   uint64
+		CacheMisses uint64
+	}
+	if err := json.Unmarshal(health, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.CacheHits == 0 {
+		t.Errorf("healthz reports no cache hits after repeat fetch: %s", health)
+	}
+
+	if code, _ := get(t, h, "/v1/sessions/unknown-999"); code != http.StatusNotFound {
+		t.Errorf("unknown session: code %d, want 404", code)
+	}
+}
+
+// TestServeReportMatchesInRAM is the serving-layer acceptance check:
+// the JSON the server returns equals the in-RAM aggregator's report for
+// the same corpus, byte for byte.
+func TestServeReportMatchesInRAM(t *testing.T) {
+	h, res, _ := serveFixture(t)
+	want, err := json.Marshal(res.Agg.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, got := get(t, h, "/v1/report")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/report: %d %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("served report differs from in-RAM report\nwant: %s\ngot:  %s", want, got)
+	}
+	// Cached second read returns the same bytes.
+	if _, again := get(t, h, "/v1/report"); !bytes.Equal(got, again) {
+		t.Error("cached report differs")
+	}
+	// Scenario-filtered report covers only that scenario's sessions.
+	_, flt := get(t, h, "/v1/report?scenario=wifi")
+	var rep engine.Report
+	if err := json.Unmarshal(flt, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 {
+		t.Errorf("filtered report covers %d sessions, want 1", rep.Sessions)
+	}
+}
+
+func TestServeUnknownScenarioIs404(t *testing.T) {
+	h, _, _ := serveFixture(t)
+	if code, _ := get(t, h, "/v1/report?scenario=dialup"); code != http.StatusNotFound {
+		t.Errorf("unknown scenario report: code %d, want 404", code)
+	}
+	if code, _ := get(t, h, "/v1/report?scenario=lte"); code != http.StatusOK {
+		t.Errorf("known scenario report: code %d, want 200", code)
+	}
+}
+
+// TestServeSeesOverwritesThroughWritableStore pins the cache-coherence
+// contract for a handler sharing a writable store with a campaign:
+// overwriting a session must invalidate both the row cache and the
+// report cache, while untouched rows keep hitting.
+func TestServeSeesOverwritesThroughWritableStore(t *testing.T) {
+	st, err := Create(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fillStore(t, st, 3, "fcc")
+	h := NewHandler(st, ServeOptions{CacheEntries: 8})
+
+	_, before := get(t, h, "/v1/sessions/fcc-001")
+	_, reportBefore := get(t, h, "/v1/report")
+
+	// Re-run the session with a different outcome.
+	rerun := testRow(1, "fcc")
+	rerun.SettingA.AvgSSIM = 0.42
+	rerun.Arms[0].Baseline.AvgSSIM = 0.42
+	if err := st.Append(rerun); err != nil {
+		t.Fatal(err)
+	}
+
+	code, after := get(t, h, "/v1/sessions/fcc-001")
+	if code != http.StatusOK || bytes.Equal(before, after) {
+		t.Errorf("overwritten session still served stale bytes (code %d)", code)
+	}
+	var row engine.SessionRow
+	if err := json.Unmarshal(after, &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.SettingA.AvgSSIM != 0.42 {
+		t.Errorf("served SSIM %v, want the overwritten 0.42", row.SettingA.AvgSSIM)
+	}
+	if _, reportAfter := get(t, h, "/v1/report"); bytes.Equal(reportBefore, reportAfter) {
+		t.Error("report cache survived an overwrite of an existing session")
+	}
+
+	// An untouched session cached before the overwrite still hits.
+	get(t, h, "/v1/sessions/fcc-002")
+	h0, _ := hitsOf(t, h)
+	get(t, h, "/v1/sessions/fcc-002")
+	h1, _ := hitsOf(t, h)
+	if h1 != h0+1 {
+		t.Errorf("untouched session did not hit the row cache (%d -> %d)", h0, h1)
+	}
+}
+
+func hitsOf(t *testing.T, h http.Handler) (uint64, uint64) {
+	t.Helper()
+	_, body := get(t, h, "/healthz")
+	var hz struct {
+		CacheHits   uint64
+		CacheMisses uint64
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	return hz.CacheHits, hz.CacheMisses
+}

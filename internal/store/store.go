@@ -1,0 +1,743 @@
+// Package store is the persistence layer of the Veritas fleet: a
+// segmented, append-only, checksummed record store for per-session
+// causal-query results.
+//
+// On-disk format. A store is a directory of fixed-prefix segment files
+// ("seg-00000.vseg", "seg-00001.vseg", …), each beginning with an
+// 8-byte magic and holding a sequence of framed records:
+//
+//	u32  key length
+//	u32  payload length
+//	u32  CRC-32 (IEEE) over key ‖ payload
+//	key      (the session ID, UTF-8)
+//	payload  (the engine.SessionRow, JSON)
+//
+// Appends go to the newest segment and rotate to a fresh one past
+// Options.SegmentBytes, so a long campaign never rewrites old data and
+// a reader can back up or ship finished segments while the campaign
+// runs.
+//
+// Crash safety. A crash mid-append leaves a torn frame only at the tail
+// of the newest segment; Open detects it (short frame or CRC mismatch),
+// truncates the segment back to the last intact record, and reports the
+// dropped bytes via Recovered. Torn frames anywhere else are corruption
+// and fail Open. Records themselves are immutable once written; a
+// re-run session is appended again and the newer record wins.
+//
+// Memory. The resident index holds (key, scenario, index, location)
+// per record — tens of bytes — never payloads, so a store of millions
+// of sessions serves point lookups in O(log n) by binary search over
+// the sorted key index while the rows stay on disk.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"veritas/internal/engine"
+)
+
+const (
+	segMagic      = "VSTORE1\n"
+	segPrefix     = "seg-"
+	segSuffix     = ".vseg"
+	frameHdrLen   = 12
+	maxKeyLen     = 1 << 16
+	maxPayloadLen = 1 << 30
+
+	// DefaultSegmentBytes is the rotation threshold when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 1 << 20
+)
+
+// ErrReadOnly is returned by Append on a store opened with ReadOnly.
+var ErrReadOnly = errors.New("store: opened read-only")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configures a store.
+type Options struct {
+	// SegmentBytes caps a segment's size before appends rotate to a
+	// fresh file (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// ReadOnly opens the store for queries only: Append fails, and a
+	// torn tail is skipped in memory instead of truncated on disk (the
+	// serving layer must not mutate a store a campaign may still own).
+	ReadOnly bool
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes > 0 {
+		return o.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
+// entry is one record's slot in the resident index.
+type entry struct {
+	key      string
+	scenario string
+	index    int   // engine corpus index, for listings
+	seg      int   // segment number
+	off      int64 // frame start offset within the segment
+}
+
+// Store is an open store directory. All methods are safe for concurrent
+// use; Append is serialized internally, so a Store works directly as an
+// engine.Sink shared by every fleet worker.
+type Store struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	entries   []entry // sorted by key, deduplicated: latest record wins
+	staged    []entry // appended since the last index merge, in append order
+	readers   map[int]*os.File
+	active    *os.File
+	lock      *os.File // writer lock on dir/LOCK, nil when read-only
+	activeNum int
+	activeLen int64
+	recovered int64
+	gen       uint64 // bumped on every append, including same-key overwrites
+	closed    bool
+}
+
+func segName(n int) string { return fmt.Sprintf("%s%05d%s", segPrefix, n, segSuffix) }
+
+// Open opens (or, unless ReadOnly, creates) a store directory,
+// recovering from a torn tail segment if a previous writer crashed.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.ReadOnly {
+		// Fail fast on a mistyped path: a read-only open of nothing
+		// would otherwise serve a valid-looking empty corpus.
+		if fi, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		} else if !fi.IsDir() {
+			return nil, fmt.Errorf("store: %s is not a directory", dir)
+		}
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{dir: dir, opt: opt, readers: make(map[int]*os.File)}
+	if !opt.ReadOnly {
+		// Single-writer discipline: two campaigns appending to one
+		// store would track offsets independently and corrupt each
+		// other's view. The flock is released automatically if the
+		// process dies, so crash-resume never needs manual cleanup.
+		if err := s.acquireLock(); err != nil {
+			return nil, err
+		}
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			s.releaseLock()
+		}
+	}()
+	nums, err := s.segmentNumbers()
+	if err != nil {
+		return nil, err
+	}
+	if opt.ReadOnly && len(nums) == 0 {
+		return nil, fmt.Errorf("store: %s holds no segments", dir)
+	}
+	byKey := make(map[string]entry)
+	for i, num := range nums {
+		if err := s.scanSegment(num, i == len(nums)-1, byKey); err != nil {
+			return nil, err
+		}
+	}
+	s.entries = make([]entry, 0, len(byKey))
+	for _, e := range byKey {
+		s.entries = append(s.entries, e)
+	}
+	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].key < s.entries[j].key })
+
+	if !opt.ReadOnly {
+		if len(nums) == 0 {
+			if err := s.newSegment(0); err != nil {
+				return nil, err
+			}
+		} else if err := s.openActive(nums[len(nums)-1]); err != nil {
+			return nil, err
+		}
+	}
+	opened = true
+	return s, nil
+}
+
+// Create opens a fresh store, failing if dir already holds segments.
+func Create(dir string, opt Options) (*Store, error) {
+	if opt.ReadOnly {
+		return nil, errors.New("store: Create is incompatible with ReadOnly")
+	}
+	names, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if len(names) > 0 {
+		return nil, fmt.Errorf("store: %s already holds %d segment(s)", dir, len(names))
+	}
+	return Open(dir, opt)
+}
+
+func (s *Store) segmentNumbers() ([]int, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	nums := make([]int, 0, len(names))
+	for _, name := range names {
+		base := filepath.Base(name)
+		var n int
+		if _, err := fmt.Sscanf(base, segPrefix+"%d"+segSuffix, &n); err != nil {
+			return nil, fmt.Errorf("store: unrecognized segment file %s", base)
+		}
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	return nums, nil
+}
+
+// scanSegment walks one segment, folding every intact record into
+// byKey. A torn tail is recovered (truncated, unless read-only) when
+// the segment is the last one, and fatal otherwise.
+func (s *Store) scanSegment(num int, last bool, byKey map[string]entry) error {
+	path := filepath.Join(s.dir, segName(num))
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	good := int64(0)
+	torn := false
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		torn = true // segment created but header never landed, or junk
+	} else {
+		good = int64(len(segMagic))
+		hdr := make([]byte, frameHdrLen)
+		var buf []byte
+		for good < size {
+			if _, err := io.ReadFull(f, hdr); err != nil {
+				torn = true
+				break
+			}
+			keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+			payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
+			sum := binary.LittleEndian.Uint32(hdr[8:12])
+			if keyLen == 0 || keyLen > maxKeyLen || payloadLen > maxPayloadLen {
+				torn = true
+				break
+			}
+			n := int(keyLen) + int(payloadLen)
+			if cap(buf) < n {
+				buf = make([]byte, n)
+			}
+			buf = buf[:n]
+			if _, err := io.ReadFull(f, buf); err != nil {
+				torn = true
+				break
+			}
+			if crc32.ChecksumIEEE(buf) != sum {
+				torn = true
+				break
+			}
+			key := string(buf[:keyLen])
+			scen, idx := peekRow(buf[keyLen:])
+			byKey[key] = entry{key: key, scenario: scen, index: idx, seg: num, off: good}
+			good += frameHdrLen + int64(n)
+		}
+	}
+	if !torn {
+		return nil
+	}
+	if !last {
+		return fmt.Errorf("store: %s: corrupt frame at offset %d (%d bytes follow); only the newest segment may be torn",
+			path, good, size-good)
+	}
+	s.recovered += size - good
+	if s.opt.ReadOnly {
+		return nil
+	}
+	if err := os.Truncate(path, good); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if good < int64(len(segMagic)) {
+		// The crash landed before the magic header itself was durable.
+		// Rewrite it, or the records appended next would sit in a
+		// header-less segment and be dropped wholesale on the following
+		// Open.
+		w, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		defer w.Close()
+		if _, err := w.Write([]byte(segMagic)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := w.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// peekRow extracts the index fields from a row payload without keeping
+// the decoded row.
+func peekRow(payload []byte) (scenario string, index int) {
+	var row struct {
+		Index    int
+		Scenario string
+	}
+	if json.Unmarshal(payload, &row) == nil {
+		return row.Scenario, row.Index
+	}
+	return "", 0
+}
+
+func (s *Store) newSegment(num int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(num)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	s.activeNum = num
+	s.activeLen = int64(len(segMagic))
+	return nil
+}
+
+func (s *Store) openActive(num int) error {
+	path := filepath.Join(s.dir, segName(num))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	s.activeNum = num
+	s.activeLen = size
+	return nil
+}
+
+// Append persists one session row; the row's ID is its key. A later
+// append with the same key supersedes the earlier record.
+func (s *Store) Append(row engine.SessionRow) error {
+	if row.ID == "" {
+		return errors.New("store: row has empty ID")
+	}
+	if len(row.ID) > maxKeyLen {
+		return fmt.Errorf("store: key %q exceeds %d bytes", row.ID[:32]+"…", maxKeyLen)
+	}
+	payload, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	frame := make([]byte, frameHdrLen+len(row.ID)+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(row.ID)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[frameHdrLen:], row.ID)
+	copy(frame[frameHdrLen+len(row.ID):], payload)
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(frame[frameHdrLen:]))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.opt.ReadOnly:
+		return ErrReadOnly
+	}
+	if s.activeLen+int64(len(frame)) > s.opt.segmentBytes() && s.activeLen > int64(len(segMagic)) {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.newSegment(s.activeNum + 1); err != nil {
+			return err
+		}
+	}
+	off := s.activeLen
+	if _, err := s.active.Write(frame); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.activeLen += int64(len(frame))
+	s.gen++
+	s.staged = append(s.staged, entry{
+		key: row.ID, scenario: row.Scenario, index: row.Index,
+		seg: s.activeNum, off: off,
+	})
+	return nil
+}
+
+// Generation returns a counter that increases on every append — unlike
+// Len, it also moves when an existing session is overwritten, which is
+// what serving-layer caches must key on.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Put adapts the store to engine.Sink: each completed session result is
+// reduced to its row and appended.
+func (s *Store) Put(r engine.SessionResult) error { return s.Append(r.Row()) }
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.active == nil {
+		return nil
+	}
+	return s.active.Sync()
+}
+
+// Close syncs and releases every file handle. The store is unusable
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.active.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.active = nil
+	}
+	for _, f := range s.readers {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.readers = nil
+	s.releaseLock()
+	return first
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovered returns the number of torn-tail bytes dropped during Open.
+func (s *Store) Recovered() int64 { return s.recovered }
+
+// mergeIndex folds staged entries into the sorted index. Caller holds mu.
+func (s *Store) mergeIndex() {
+	if len(s.staged) == 0 {
+		return
+	}
+	byKey := make(map[string]entry, len(s.entries)+len(s.staged))
+	for _, e := range s.entries {
+		byKey[e.key] = e
+	}
+	for _, e := range s.staged { // append order: later wins
+		byKey[e.key] = e
+	}
+	s.staged = s.staged[:0]
+	s.entries = s.entries[:0]
+	for _, e := range byKey {
+		s.entries = append(s.entries, e)
+	}
+	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].key < s.entries[j].key })
+}
+
+// snapshotIndex returns the merged, key-sorted index. The slice must
+// not be mutated.
+func (s *Store) snapshotIndex() []entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeIndex()
+	out := make([]entry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Len returns the number of distinct sessions stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeIndex()
+	return len(s.entries)
+}
+
+// Has reports whether a session with the given ID is stored.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeIndex()
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].key >= key })
+	return i < len(s.entries) && s.entries[i].key == key
+}
+
+// Keys returns every stored session ID in sorted order — the resume
+// skip set `cmd/fleet -resume` feeds back into the engine.
+func (s *Store) Keys() []string {
+	idx := s.snapshotIndex()
+	out := make([]string, len(idx))
+	for i, e := range idx {
+		out[i] = e.key
+	}
+	return out
+}
+
+// SessionInfo is one index row of a listing: enough to enumerate a
+// corpus without touching payloads.
+type SessionInfo struct {
+	ID       string
+	Index    int
+	Scenario string
+}
+
+// Sessions lists the stored sessions (sorted by ID), optionally
+// restricted to one scenario.
+func (s *Store) Sessions(scenario string) []SessionInfo {
+	var out []SessionInfo
+	for _, e := range s.snapshotIndex() {
+		if scenario != "" && e.scenario != scenario {
+			continue
+		}
+		out = append(out, SessionInfo{ID: e.key, Index: e.index, Scenario: e.scenario})
+	}
+	return out
+}
+
+// Scenarios returns the distinct scenario labels stored with their
+// session counts, sorted by label.
+func (s *Store) Scenarios() []ScenarioInfo {
+	counts := make(map[string]int)
+	for _, e := range s.snapshotIndex() {
+		counts[e.scenario]++
+	}
+	out := make([]ScenarioInfo, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, ScenarioInfo{Scenario: name, Sessions: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scenario < out[j].Scenario })
+	return out
+}
+
+// ScenarioInfo is one scenario's entry in a listing.
+type ScenarioInfo struct {
+	Scenario string
+	Sessions int
+}
+
+// Version returns an opaque identifier of the record currently backing
+// key — it changes exactly when the session is overwritten, which is
+// what per-session read caches key on. ok is false for unknown keys.
+func (s *Store) Version(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeIndex()
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].key >= key })
+	if i >= len(s.entries) || s.entries[i].key != key {
+		return "", false
+	}
+	return fmt.Sprintf("%d:%d", s.entries[i].seg, s.entries[i].off), true
+}
+
+// Get returns the stored row for a session ID.
+func (s *Store) Get(key string) (engine.SessionRow, bool, error) {
+	s.mu.Lock()
+	s.mergeIndex()
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].key >= key })
+	if i >= len(s.entries) || s.entries[i].key != key {
+		s.mu.Unlock()
+		return engine.SessionRow{}, false, nil
+	}
+	e := s.entries[i]
+	s.mu.Unlock()
+	row, err := s.readRow(e)
+	if err != nil {
+		return engine.SessionRow{}, false, err
+	}
+	return row, true, nil
+}
+
+// reader returns a shared read handle for a segment.
+func (s *Store) reader(seg int) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if f, ok := s.readers[seg]; ok {
+		return f, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, segName(seg)))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.readers[seg] = f
+	return f, nil
+}
+
+// readRow reads and verifies one frame.
+func (s *Store) readRow(e entry) (engine.SessionRow, error) {
+	var row engine.SessionRow
+	f, err := s.reader(e.seg)
+	if err != nil {
+		return row, err
+	}
+	hdr := make([]byte, frameHdrLen)
+	if _, err := f.ReadAt(hdr, e.off); err != nil {
+		return row, fmt.Errorf("store: %s@%d: %w", segName(e.seg), e.off, err)
+	}
+	keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+	payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
+	sum := binary.LittleEndian.Uint32(hdr[8:12])
+	if keyLen == 0 || keyLen > maxKeyLen || payloadLen > maxPayloadLen {
+		return row, fmt.Errorf("store: %s@%d: implausible frame header", segName(e.seg), e.off)
+	}
+	buf := make([]byte, int(keyLen)+int(payloadLen))
+	if _, err := f.ReadAt(buf, e.off+frameHdrLen); err != nil {
+		return row, fmt.Errorf("store: %s@%d: %w", segName(e.seg), e.off, err)
+	}
+	if crc32.ChecksumIEEE(buf) != sum {
+		return row, fmt.Errorf("store: %s@%d: checksum mismatch", segName(e.seg), e.off)
+	}
+	if err := json.Unmarshal(buf[keyLen:], &row); err != nil {
+		return row, fmt.Errorf("store: %s@%d: %w", segName(e.seg), e.off, err)
+	}
+	return row, nil
+}
+
+// Scan streams every stored row (latest per key, sorted by key) through
+// fn, reading one row at a time — the bounded-memory iteration path
+// that aggregation and compaction are built on. fn errors abort the
+// scan.
+func (s *Store) Scan(fn func(engine.SessionRow) error) error {
+	for _, e := range s.snapshotIndex() {
+		row, err := s.readRow(e)
+		if err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Aggregate replays every stored row into a fresh engine aggregator.
+// The resulting aggregates — and the Report built from them — are
+// byte-identical to the in-RAM aggregation of the campaign(s) that
+// produced the store.
+func (s *Store) Aggregate() (*engine.Aggregator, error) {
+	return s.AggregateScenario("")
+}
+
+// AggregateScenario aggregates only the sessions of one scenario
+// (empty means all).
+func (s *Store) AggregateScenario(scenario string) (*engine.Aggregator, error) {
+	agg := engine.NewAggregator(s.Len())
+	err := s.Scan(func(row engine.SessionRow) error {
+		if scenario == "" || row.Scenario == scenario {
+			agg.AddRow(row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// Merge folds one or more source stores into a fresh store at dst — the
+// compaction pass. Sessions are deduplicated by ID (a later source wins
+// over an earlier one), superseded and torn records are dropped, and
+// the surviving records are written in sorted key order, one at a time,
+// so compaction memory is bounded by a single row. Returns the number
+// of sessions in the merged store.
+func Merge(dst string, opt Options, srcs ...string) (int, error) {
+	if len(srcs) == 0 {
+		return 0, errors.New("store: Merge needs at least one source")
+	}
+	opened := make([]*Store, 0, len(srcs))
+	defer func() {
+		for _, st := range opened {
+			st.Close()
+		}
+	}()
+	winner := make(map[string]int) // key -> index into opened
+	for i, dir := range srcs {
+		st, err := Open(dir, Options{ReadOnly: true})
+		if err != nil {
+			return 0, fmt.Errorf("store: merge source %s: %w", dir, err)
+		}
+		opened = append(opened, st)
+		for _, k := range st.Keys() {
+			winner[k] = i
+		}
+	}
+	keys := make([]string, 0, len(winner))
+	for k := range winner {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out, err := Create(dst, opt)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	for _, k := range keys {
+		row, ok, err := opened[winner[k]].Get(k)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("store: merge lost key %q", k)
+		}
+		if err := out.Append(row); err != nil {
+			return 0, err
+		}
+	}
+	if err := out.Sync(); err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}

@@ -3,12 +3,15 @@ package veritas
 import (
 	"context"
 	"errors"
+	"net/http"
+	"time"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
 	"veritas/internal/engine"
 	"veritas/internal/netem"
 	"veritas/internal/player"
+	"veritas/internal/store"
 	"veritas/internal/tcp"
 	"veritas/internal/trace"
 	"veritas/internal/video"
@@ -334,4 +337,71 @@ func NewFleetArm(name string, w WhatIf) (FleetArm, error) {
 		return FleetArm{}, err
 	}
 	return FleetArm{Name: name, Setting: setting}, nil
+}
+
+// Corpus store: persistent, bounded-memory result storage plus the
+// query-serving layer in internal/store.
+type (
+	// FleetStore is a segmented, append-only, checksummed store of
+	// per-session fleet results. It implements the engine's Sink, so
+	// assigning one to FleetConfig.Sink streams a campaign to disk as
+	// workers finish sessions.
+	FleetStore = store.Store
+	// FleetStoreOptions configures segment rotation and read-only mode.
+	FleetStoreOptions = store.Options
+	// FleetRow is the compact per-session record the store persists and
+	// the aggregator reduces over.
+	FleetRow = engine.SessionRow
+	// FleetArmOutcome is one session × arm cell of the what-if matrix.
+	FleetArmOutcome = engine.ArmOutcome
+	// FleetSink consumes completed session results in completion order.
+	FleetSink = engine.Sink
+	// FleetReport is the serializable aggregate report (what cmd/serve
+	// returns as JSON).
+	FleetReport = engine.Report
+)
+
+// OpenStore opens (or creates) a fleet result store directory,
+// recovering automatically from a torn tail segment left by a crashed
+// campaign.
+func OpenStore(dir string, opt FleetStoreOptions) (*FleetStore, error) {
+	return store.Open(dir, opt)
+}
+
+// MergeStores compacts one or more campaign stores into a fresh store
+// at dst: sessions are deduplicated by ID (later sources win) and
+// superseded records dropped.
+func MergeStores(dst string, srcs ...string) (int, error) {
+	return store.Merge(dst, store.Options{}, srcs...)
+}
+
+// NewStoreHandler returns the HTTP query API over an open store (list
+// sessions and scenarios, fetch per-session what-if results, aggregate
+// reports as JSON) with an in-process read cache of cacheEntries
+// decoded sessions (0 picks the default, negative disables).
+func NewStoreHandler(s *FleetStore, cacheEntries int) http.Handler {
+	return store.NewHandler(s, store.ServeOptions{CacheEntries: cacheEntries})
+}
+
+// ServeStore serves the query API over an open store on addr until ctx
+// is cancelled, then drains in-flight requests for up to five seconds.
+// It is the serving loop behind cmd/serve; cacheEntries sizes the read
+// cache as in NewStoreHandler. Request contexts deliberately do not
+// derive from ctx: cancelling ctx triggers the graceful shutdown, which
+// must be able to drain in-flight requests rather than abort them.
+func ServeStore(ctx context.Context, addr string, s *FleetStore, cacheEntries int) error {
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: NewStoreHandler(s, cacheEntries),
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
 }
