@@ -1,0 +1,979 @@
+package veritas
+
+// The campaign layer: one object tying a batch causal-query campaign's
+// corpus, what-if matrix, execution, persistence, resume, and serving
+// together. A Campaign is built once from functional options and then
+// drives the fleet engine (internal/engine) and the corpus store
+// (internal/store) behind a single coherent surface:
+//
+//	c, _ := veritas.NewCampaign(
+//		veritas.WithScenarios("lte", "wifi"),
+//		veritas.WithSessions(25),
+//		veritas.WithMatrix([]string{"bba", "bola"}, []float64{5, 30}),
+//		veritas.WithStore("campaign.store"),
+//	)
+//	res, _ := c.Run(ctx)      // or c.Resume(ctx) after a crash
+//	rep, _ := c.Report()      // aggregate report (store-backed if stored)
+//	_ = c.Serve(ctx, ":8077") // query API over the persisted corpus
+//
+// The older free functions (RunFleet, BuildCorpus, FleetMatrix, ...)
+// remain as deprecated shims in compat.go.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"veritas/internal/engine"
+	"veritas/internal/store"
+)
+
+// Fleet data types re-exported for campaign callers.
+type (
+	// FleetSpec is one corpus session (a GTBW trace to stream, or a
+	// pre-recorded log to invert).
+	FleetSpec = engine.SessionSpec
+	// FleetArm is one what-if setting of the query matrix.
+	FleetArm = engine.Arm
+	// FleetResult is a completed fleet run: per-session results in
+	// corpus order plus the streaming aggregator.
+	FleetResult = engine.Result
+	// FleetSessionResult is one session's outcomes.
+	FleetSessionResult = engine.SessionResult
+	// FleetCacheStats counts the engine's emission-memoization cache.
+	FleetCacheStats = engine.CacheStats
+	// FleetRow is the compact per-session record the store persists,
+	// the aggregator reduces over, and Campaign.Results streams.
+	FleetRow = engine.SessionRow
+	// FleetArmOutcome is one session × arm cell of the what-if matrix.
+	FleetArmOutcome = engine.ArmOutcome
+	// FleetPredictQuery is one interventional download-time query (the
+	// paper's §4.4) answered from a spec's abduction.
+	FleetPredictQuery = engine.PredictQuery
+	// FleetSink consumes completed session results in completion order.
+	FleetSink = engine.Sink
+	// FleetReport is the serializable aggregate report (what the
+	// serving layer returns as JSON).
+	FleetReport = engine.Report
+)
+
+// Scenarios returns the corpus scenario names WithScenarios accepts.
+func Scenarios() []string { return engine.Scenarios() }
+
+// ABRs returns the algorithm names WithMatrix accepts.
+func ABRs() []string { return engine.ABRs() }
+
+// NewArm builds a what-if arm from a WhatIf, defaulting video, network
+// and buffer the same way Counterfactual does. Use it with WithArms to
+// query settings outside the ABR × buffer matrix.
+func NewArm(name string, w WhatIf) (FleetArm, error) {
+	setting, err := w.setting()
+	if err != nil {
+		return FleetArm{}, err
+	}
+	return FleetArm{Name: name, Setting: setting}, nil
+}
+
+// campaignOptions is the resolved option set behind NewCampaign.
+type campaignOptions struct {
+	// Corpus shape: either the scenario mix...
+	scenarios      []string
+	sessionsPer    int
+	deployedBuffer float64
+	newDeployedABR func() ABR
+	// ...or a caller-supplied corpus.
+	corpus []FleetSpec
+
+	chunks int // shapes both corpus and matrix video
+
+	// Query matrix: either ABR × buffer, or explicit arms.
+	abrs    []string
+	buffers []float64
+	arms    []FleetArm
+	armsSet bool
+
+	// Execution.
+	workers        int
+	samples        int
+	seed           int64
+	disableCache   bool
+	keepAbductions bool
+	onResult       func(FleetSessionResult)
+	sinks          []FleetSink
+
+	// Persistence and serving.
+	storeDir     string
+	readOnly     bool
+	segmentBytes int64
+	readCache    int
+	resume       bool
+}
+
+// CampaignOption configures a Campaign; see the With* constructors.
+type CampaignOption func(*campaignOptions) error
+
+// WithScenarios restricts the synthetic corpus to the named bandwidth
+// regimes (see Scenarios). The default is all of them.
+func WithScenarios(names ...string) CampaignOption {
+	return func(o *campaignOptions) error {
+		if len(names) == 0 {
+			return errors.New("veritas: WithScenarios needs at least one scenario (omit it for all)")
+		}
+		known := make(map[string]bool)
+		for _, s := range engine.Scenarios() {
+			known[s] = true
+		}
+		seen := make(map[string]bool)
+		for _, n := range names {
+			if !known[n] {
+				return fmt.Errorf("veritas: unknown scenario %q (have %v)", n, engine.Scenarios())
+			}
+			if seen[n] {
+				// Duplicates would produce sessions with colliding IDs,
+				// which a store silently collapses (last write wins).
+				return fmt.Errorf("veritas: scenario %q listed twice", n)
+			}
+			seen[n] = true
+		}
+		o.scenarios = names
+		return nil
+	}
+}
+
+// WithSessions sets the number of sessions per scenario (default 8).
+func WithSessions(perScenario int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if perScenario <= 0 {
+			return fmt.Errorf("veritas: sessions per scenario %d must be positive", perScenario)
+		}
+		o.sessionsPer = perScenario
+		return nil
+	}
+}
+
+// WithChunks truncates every session's video to n chunks (0 means the
+// full 10-minute clip). It shapes the corpus and the matrix arms alike.
+func WithChunks(n int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if n < 0 {
+			return fmt.Errorf("veritas: chunks %d is negative (0 means the full clip)", n)
+		}
+		o.chunks = n
+		return nil
+	}
+}
+
+// WithDeployedABR sets the deployed (Setting A) algorithm factory for
+// the synthetic corpus (default RobustMPC).
+func WithDeployedABR(newABR func() ABR) CampaignOption {
+	return func(o *campaignOptions) error {
+		if newABR == nil {
+			return errors.New("veritas: WithDeployedABR(nil)")
+		}
+		o.newDeployedABR = newABR
+		return nil
+	}
+}
+
+// WithDeployedBuffer sets the deployed (Setting A) buffer size in
+// seconds (default 5, the paper's low-latency setting).
+func WithDeployedBuffer(secs float64) CampaignOption {
+	return func(o *campaignOptions) error {
+		if secs <= 0 {
+			return fmt.Errorf("veritas: deployed buffer %g must be positive seconds", secs)
+		}
+		o.deployedBuffer = secs
+		return nil
+	}
+}
+
+// WithCorpus replaces the synthetic scenario corpus with caller-built
+// session specs. Incompatible with the scenario-mix options
+// (WithScenarios, WithSessions, WithDeployedABR, WithDeployedBuffer).
+func WithCorpus(specs ...FleetSpec) CampaignOption {
+	return func(o *campaignOptions) error {
+		if len(specs) == 0 {
+			return errors.New("veritas: WithCorpus needs at least one session spec")
+		}
+		o.corpus = specs
+		return nil
+	}
+}
+
+// WithMatrix sets the ABR × buffer-size what-if matrix: one arm per
+// (algorithm, buffer) pair, named "<abr>-<buf>s".
+func WithMatrix(abrs []string, buffers []float64) CampaignOption {
+	return func(o *campaignOptions) error {
+		if len(abrs) == 0 || len(buffers) == 0 {
+			return errors.New("veritas: matrix needs at least one ABR and one buffer size")
+		}
+		seenABR := make(map[string]bool)
+		for _, a := range abrs {
+			ok := false
+			for _, k := range engine.ABRs() {
+				if a == k {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("veritas: unknown ABR %q (have %v)", a, engine.ABRs())
+			}
+			if seenABR[a] {
+				return fmt.Errorf("veritas: ABR %q listed twice", a)
+			}
+			seenABR[a] = true
+		}
+		seenBuf := make(map[float64]bool)
+		for _, b := range buffers {
+			if b <= 0 {
+				return fmt.Errorf("veritas: matrix buffer %g must be positive seconds", b)
+			}
+			if seenBuf[b] {
+				// Duplicates collide on arm names ("bba-5s" twice) and
+				// double-count every session in the aggregates.
+				return fmt.Errorf("veritas: matrix buffer %g listed twice", b)
+			}
+			seenBuf[b] = true
+		}
+		o.abrs = abrs
+		o.buffers = buffers
+		return nil
+	}
+}
+
+// WithArms replaces the ABR × buffer matrix with explicit arms (built
+// by NewArm or by hand). Incompatible with WithMatrix.
+func WithArms(arms ...FleetArm) CampaignOption {
+	return func(o *campaignOptions) error {
+		o.arms = arms
+		o.armsSet = true
+		return nil
+	}
+}
+
+// WithWorkers sets the engine worker-pool size (default GOMAXPROCS).
+func WithWorkers(n int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if n < 0 {
+			return fmt.Errorf("veritas: workers %d is negative (0 means GOMAXPROCS)", n)
+		}
+		o.workers = n
+		return nil
+	}
+}
+
+// WithSamples sets the Veritas posterior sample count K (default 5).
+func WithSamples(k int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if k <= 0 {
+			return fmt.Errorf("veritas: samples %d must be positive (the paper uses 5)", k)
+		}
+		o.samples = k
+		return nil
+	}
+}
+
+// WithSeed sets the base seed every trace, jitter and abduction seed in
+// the campaign derives from.
+func WithSeed(seed int64) CampaignOption {
+	return func(o *campaignOptions) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithStore persists per-session results to the given store directory
+// as workers finish them, making the campaign durable, resumable and
+// servable. For scenario-mix campaigns (no WithCorpus, WithArms or
+// WithDeployedABR — functions cannot be fingerprinted) the store
+// records a fingerprint of every result-shaping option
+// (campaign.json) and later opens refuse a store written under
+// different settings; with caller-supplied pieces, store coherence is
+// the caller's to manage.
+func WithStore(dir string) CampaignOption {
+	return func(o *campaignOptions) error {
+		if dir == "" {
+			return errors.New("veritas: WithStore needs a directory")
+		}
+		o.storeDir = dir
+		return nil
+	}
+}
+
+// WithReadOnlyStore opens the campaign store for queries only: Run and
+// Resume fail, Serve and Report answer from the store as of open time.
+// This is how a serving process attaches to a store a campaign may
+// still be appending to.
+func WithReadOnlyStore() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.readOnly = true
+		return nil
+	}
+}
+
+// WithSegmentBytes caps a store segment's size before appends rotate to
+// a fresh file (default store.DefaultSegmentBytes).
+func WithSegmentBytes(n int64) CampaignOption {
+	return func(o *campaignOptions) error {
+		if n < 0 {
+			return fmt.Errorf("veritas: segment bytes %d is negative", n)
+		}
+		o.segmentBytes = n
+		return nil
+	}
+}
+
+// WithReadCache sizes the serving layer's in-process read cache of
+// decoded sessions (0 picks the default 256, negative disables).
+func WithReadCache(entries int) CampaignOption {
+	return func(o *campaignOptions) error {
+		o.readCache = entries
+		return nil
+	}
+}
+
+// WithResume makes Run skip every session already present in the store,
+// keeping corpus indices — hence seeds — stable, so a resumed campaign
+// computes exactly what an uninterrupted one would have. Requires
+// WithStore.
+func WithResume() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.resume = true
+		return nil
+	}
+}
+
+// WithSink streams every completed session result to an additional
+// sink, after the store (if any). Put is called from worker goroutines
+// and must be safe for concurrent use; its first error aborts the run.
+func WithSink(sink FleetSink) CampaignOption {
+	return func(o *campaignOptions) error {
+		if sink == nil {
+			return errors.New("veritas: WithSink(nil)")
+		}
+		o.sinks = append(o.sinks, sink)
+		return nil
+	}
+}
+
+// WithProgress calls fn once per completed session, from worker
+// goroutines, in completion order. fn must be safe for concurrent use.
+func WithProgress(fn func(FleetSessionResult)) CampaignOption {
+	return func(o *campaignOptions) error {
+		o.onResult = fn
+		return nil
+	}
+}
+
+// WithKeepAbductions retains each session's posterior in its result.
+// Off by default: posteriors are large, and fleet-scale runs only need
+// the aggregates.
+func WithKeepAbductions() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.keepAbductions = true
+		return nil
+	}
+}
+
+// WithoutMemoization disables the engine's per-session emission cache
+// (used by benchmarks to measure its effect).
+func WithoutMemoization() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.disableCache = true
+		return nil
+	}
+}
+
+// Campaign is a batch causal-query campaign: a corpus of sessions, a
+// matrix of what-if arms, and the run/persistence/serving machinery
+// around them. Build one with NewCampaign; the zero value is not
+// usable. Methods are safe for concurrent use, but only one Run,
+// Resume or Results may execute at a time.
+type Campaign struct {
+	opt campaignOptions
+
+	mu      sync.Mutex
+	corpus  []FleetSpec
+	arms    []FleetArm
+	st      *FleetStore
+	last    *FleetResult
+	running bool
+}
+
+// NewCampaign builds a campaign from functional options and validates
+// their combination up front, before any corpus is built or worker
+// started. The zero-option campaign mirrors the engine defaults: every
+// scenario × 8 sessions, no arms, GOMAXPROCS workers, 5 posterior
+// samples, no persistence.
+func NewCampaign(opts ...CampaignOption) (*Campaign, error) {
+	var o campaignOptions
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("veritas: nil CampaignOption")
+		}
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.resume && o.storeDir == "" {
+		return nil, errors.New("veritas: WithResume needs WithStore: there is nowhere to resume from")
+	}
+	if o.readOnly && o.storeDir == "" {
+		return nil, errors.New("veritas: WithReadOnlyStore needs WithStore")
+	}
+	if o.armsSet && len(o.abrs) > 0 {
+		return nil, errors.New("veritas: WithArms and WithMatrix are mutually exclusive")
+	}
+	if o.corpus != nil &&
+		(o.scenarios != nil || o.sessionsPer != 0 || o.deployedBuffer != 0 || o.newDeployedABR != nil) {
+		return nil, errors.New("veritas: WithCorpus replaces the scenario mix; drop WithScenarios/WithSessions/WithDeployedABR/WithDeployedBuffer")
+	}
+	return &Campaign{opt: o}, nil
+}
+
+// corpusConfig maps the scenario-mix options onto the engine's corpus
+// builder.
+func (c *Campaign) corpusConfig() engine.CorpusConfig {
+	return engine.CorpusConfig{
+		Scenarios:   c.opt.scenarios,
+		SessionsPer: c.opt.sessionsPer,
+		NumChunks:   c.opt.chunks,
+		BufferCap:   c.opt.deployedBuffer,
+		NewABR:      c.opt.newDeployedABR,
+		Seed:        c.opt.seed,
+	}
+}
+
+// materialize builds (and caches) the corpus and arm matrix.
+func (c *Campaign) materialize() ([]FleetSpec, []FleetArm, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.corpus == nil {
+		if c.opt.corpus != nil {
+			c.corpus = c.opt.corpus
+		} else {
+			corpus, err := engine.BuildCorpus(c.corpusConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			c.corpus = corpus
+		}
+	}
+	if c.arms == nil {
+		switch {
+		case c.opt.armsSet:
+			c.arms = c.opt.arms
+		case len(c.opt.abrs) > 0:
+			arms, err := engine.BuildMatrix(c.corpusConfig(), c.opt.abrs, c.opt.buffers)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.arms = arms
+		default:
+			c.arms = []FleetArm{}
+		}
+	}
+	return c.corpus, c.arms, nil
+}
+
+// Corpus returns the campaign's materialized session specs.
+func (c *Campaign) Corpus() ([]FleetSpec, error) {
+	corpus, _, err := c.materialize()
+	return corpus, err
+}
+
+// Arms returns the campaign's materialized what-if arms.
+func (c *Campaign) Arms() ([]FleetArm, error) {
+	_, arms, err := c.materialize()
+	return arms, err
+}
+
+// campaignFingerprint is the JSON shape of the store's campaign.json:
+// every option that shapes results. The field set (and the indented
+// encoding) is kept bit-compatible with the fingerprint cmd/fleet wrote
+// before the Campaign API existed, so pre-existing stores resume under
+// the new binary.
+type campaignFingerprint struct {
+	Scenarios   []string
+	SessionsPer int
+	Chunks      int
+	Samples     int
+	Seed        int64
+	Buffer      float64
+	ABRs        []string
+	Buffers     []float64
+}
+
+// fingerprints returns the acceptable campaign.json forms, most
+// canonical first, or nil when the corpus, arms or deployed ABR are
+// caller-supplied — a Go function cannot be serialized, so the options
+// then cannot prove two runs equal and store coherence is the caller's
+// to manage.
+//
+// The first form is written into fresh stores and is byte-compatible
+// with what pre-Campaign binaries wrote: the scenario list exactly as
+// given, null when defaulted. Because an explicit list naming every
+// scenario in default order computes the identical campaign, that case
+// yields a second acceptable form with the list flipped to null (and
+// vice versa), so stores written either way resume under either
+// spelling.
+func (c *Campaign) fingerprints() [][]byte {
+	if c.opt.corpus != nil || c.opt.armsSet || c.opt.newDeployedABR != nil {
+		return nil
+	}
+	fp := campaignFingerprint{
+		Scenarios:   c.opt.scenarios,
+		SessionsPer: c.opt.sessionsPer,
+		Chunks:      c.opt.chunks,
+		Samples:     c.opt.samples,
+		Seed:        c.opt.seed,
+		Buffer:      c.opt.deployedBuffer,
+		ABRs:        c.opt.abrs,
+		Buffers:     c.opt.buffers,
+	}
+	// Normalize to effective defaults so an explicit WithSessions(8)
+	// and the default fingerprint identically — they compute the same
+	// campaign.
+	if fp.SessionsPer == 0 {
+		fp.SessionsPer = 8
+	}
+	if fp.Samples == 0 {
+		fp.Samples = 5
+	}
+	if fp.Buffer == 0 {
+		fp.Buffer = 5
+	}
+	marshal := func(fp campaignFingerprint) []byte {
+		b, err := json.MarshalIndent(fp, "", "  ")
+		if err != nil {
+			return nil
+		}
+		return b
+	}
+	out := [][]byte{marshal(fp)}
+	switch {
+	case fp.Scenarios == nil:
+		fp.Scenarios = engine.Scenarios()
+		out = append(out, marshal(fp))
+	case scenariosAreDefault(fp.Scenarios):
+		fp.Scenarios = nil
+		out = append(out, marshal(fp))
+	}
+	return out
+}
+
+// scenariosAreDefault reports whether names spells out the default
+// scenario mix in default order — the only explicit list equivalent to
+// omitting WithScenarios (order shapes corpus indices, hence seeds).
+func scenariosAreDefault(names []string) bool {
+	all := engine.Scenarios()
+	if len(names) != len(all) {
+		return false
+	}
+	for i, s := range all {
+		if names[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Store opens (or returns the already-open) campaign store. Campaigns
+// built without WithStore have none and get an error.
+func (c *Campaign) Store() (*FleetStore, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ensureStoreLocked()
+}
+
+func (c *Campaign) ensureStoreLocked() (*FleetStore, error) {
+	if c.st != nil {
+		return c.st, nil
+	}
+	if c.opt.storeDir == "" {
+		return nil, errors.New("veritas: campaign has no store (use WithStore)")
+	}
+	opt := store.Options{
+		SegmentBytes: c.opt.segmentBytes,
+		ReadOnly:     c.opt.readOnly,
+	}
+	var fps [][]byte
+	if !c.opt.readOnly {
+		fps = c.fingerprints()
+	}
+	if len(fps) == 0 {
+		fps = [][]byte{nil}
+	}
+	var st *store.Store
+	var err error
+	for _, fp := range fps {
+		// The first form is canonical (it is what a fresh store gets);
+		// later forms only matter against an existing store that spelt
+		// the same campaign differently.
+		st, err = store.OpenCampaign(c.opt.storeDir, opt, fp)
+		if err == nil || !errors.Is(err, store.ErrCampaignMismatch) {
+			break
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.st = st
+	return st, nil
+}
+
+// engineConfig maps the execution options onto the engine.
+func (c *Campaign) engineConfig() engine.Config {
+	return engine.Config{
+		Workers:        c.opt.workers,
+		Samples:        c.opt.samples,
+		Seed:           c.opt.seed,
+		DisableCache:   c.opt.disableCache,
+		KeepAbductions: c.opt.keepAbductions,
+		OnResult:       c.opt.onResult,
+	}
+}
+
+// prepare materializes corpus and arms, opens the store, and assembles
+// the engine config (sink chain + resume skip set) for one execution.
+func (c *Campaign) prepare(resume bool) ([]FleetSpec, []FleetArm, engine.Config, error) {
+	var zero engine.Config
+	if c.opt.readOnly {
+		return nil, nil, zero, errors.New("veritas: campaign store is read-only (drop WithReadOnlyStore to run)")
+	}
+	corpus, arms, err := c.materialize()
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	cfg := c.engineConfig()
+	sinks := make([]FleetSink, 0, 1+len(c.opt.sinks))
+	if c.opt.storeDir != "" {
+		st, err := c.Store()
+		if err != nil {
+			return nil, nil, zero, err
+		}
+		sinks = append(sinks, st)
+		if resume {
+			skip := make(map[string]bool)
+			for _, k := range st.Keys() {
+				skip[k] = true
+			}
+			cfg.Skip = skip
+		}
+	}
+	sinks = append(sinks, c.opt.sinks...)
+	switch len(sinks) {
+	case 0:
+	case 1:
+		cfg.Sink = sinks[0]
+	default:
+		cfg.Sink = multiSink(sinks)
+	}
+	return corpus, arms, cfg, nil
+}
+
+// begin marks an execution in flight; end clears it.
+func (c *Campaign) begin() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return errors.New("veritas: campaign is already running")
+	}
+	c.running = true
+	return nil
+}
+
+func (c *Campaign) end(res *FleetResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.running = false
+	if res != nil {
+		c.last = res
+	}
+}
+
+// Run executes the campaign: every corpus session through the full
+// pipeline (simulate Setting A, abduct, replay every arm, answer
+// interventional queries), across the worker pool, streaming to the
+// store and any sinks. With WithResume, sessions already stored are
+// skipped. Results are deterministic in the options, independent of
+// the worker count.
+func (c *Campaign) Run(ctx context.Context) (*FleetResult, error) {
+	return c.run(ctx, c.opt.resume)
+}
+
+// Resume is Run with the resume behavior forced on: sessions already
+// in the store are skipped, whatever the options said. It requires
+// WithStore.
+func (c *Campaign) Resume(ctx context.Context) (*FleetResult, error) {
+	if c.opt.storeDir == "" {
+		return nil, errors.New("veritas: Resume needs WithStore: there is nowhere to resume from")
+	}
+	return c.run(ctx, true)
+}
+
+func (c *Campaign) run(ctx context.Context, resume bool) (*FleetResult, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	var res *FleetResult
+	defer func() { c.end(res) }()
+	corpus, arms, cfg, err := c.prepare(resume)
+	if err != nil {
+		return nil, err
+	}
+	res, err = engine.Run(ctx, cfg, corpus, arms)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Results executes the campaign like Run but returns a streaming,
+// completion-order iterator of compact per-session rows, so callers
+// never hold the full corpus in memory — no session logs, posteriors
+// or per-session results are retained anywhere:
+//
+//	stream := c.Results(ctx)
+//	for stream.Next() {
+//		row := stream.Row()
+//		...
+//	}
+//	if err := stream.Err(); err != nil { ... }
+//
+// The iterator must be drained or closed; an abandoned iterator pins
+// the campaign's worker pool until ctx is cancelled, after which the
+// campaign frees itself even if the iterator is never touched again.
+func (c *Campaign) Results(ctx context.Context) *ResultStream {
+	if err := c.begin(); err != nil {
+		return &ResultStream{done: true, err: err}
+	}
+	corpus, arms, cfg, err := c.prepare(c.opt.resume)
+	if err != nil {
+		c.end(nil)
+		return &ResultStream{done: true, err: err}
+	}
+	streamCtx, cancel := context.WithCancel(ctx)
+	rows, wait := engine.Stream(streamCtx, cfg, corpus, arms)
+	var (
+		once    sync.Once
+		res     *FleetResult
+		joinErr error
+	)
+	join := func() (*FleetResult, error) {
+		once.Do(func() {
+			res, joinErr = wait()
+			c.end(res)
+		})
+		return res, joinErr
+	}
+	// Release the campaign as soon as the engine run ends, whether the
+	// consumer drained the stream, closed it, or abandoned it and
+	// cancelled ctx — an abandoned iterator must not wedge the
+	// campaign (or its store handle) forever.
+	go join()
+	return &ResultStream{rows: rows, cancel: cancel, wait: join}
+}
+
+// ResultStream iterates a running campaign's per-session rows in
+// completion order. It is not safe for concurrent use.
+type ResultStream struct {
+	rows   <-chan FleetRow
+	wait   func() (*FleetResult, error)
+	cancel context.CancelFunc
+
+	row    FleetRow
+	res    *FleetResult
+	err    error
+	done   bool
+	closed bool
+}
+
+// Next advances to the next completed session, blocking until one
+// finishes. It returns false when the campaign ends (or fails — check
+// Err).
+func (s *ResultStream) Next() bool {
+	if s.done {
+		return false
+	}
+	row, ok := <-s.rows
+	if !ok {
+		s.finish()
+		return false
+	}
+	s.row = row
+	return true
+}
+
+// Row returns the row Next advanced to.
+func (s *ResultStream) Row() FleetRow { return s.row }
+
+// Err returns the campaign error, if any, once Next has returned false.
+func (s *ResultStream) Err() error { return s.err }
+
+// Result returns the completed run (aggregator, cache and throughput
+// stats; Sessions is intentionally empty on the streaming path) once
+// Next has returned false, and nil before that.
+func (s *ResultStream) Result() *FleetResult { return s.res }
+
+// Close abandons the stream: the campaign is cancelled, in-flight
+// workers drain, and the cancellation itself is not reported as an
+// error. Close is idempotent and safe after Next returned false.
+func (s *ResultStream) Close() {
+	if s.done {
+		return
+	}
+	s.closed = true
+	s.cancel()
+	for range s.rows {
+		// Drain so workers parked on the unbuffered channel exit.
+	}
+	s.finish()
+}
+
+func (s *ResultStream) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	if s.wait != nil {
+		s.res, s.err = s.wait()
+	}
+	if s.cancel != nil {
+		s.cancel()
+	}
+	if s.closed && errors.Is(s.err, context.Canceled) {
+		s.err = nil
+	}
+}
+
+// Report computes the campaign's aggregate report. With a store it is
+// rebuilt from what was persisted — covering prior (resumed-over) runs
+// too, byte-identical to the in-RAM aggregation of an uninterrupted
+// campaign; without one it aggregates the last Run.
+func (c *Campaign) Report() (*FleetReport, error) {
+	agg, err := c.aggregator()
+	if err != nil {
+		return nil, err
+	}
+	return agg.Report(), nil
+}
+
+func (c *Campaign) aggregator() (*engine.Aggregator, error) {
+	if c.opt.storeDir != "" {
+		st, err := c.Store()
+		if err != nil {
+			return nil, err
+		}
+		if !c.opt.readOnly {
+			if err := st.Sync(); err != nil {
+				return nil, err
+			}
+		}
+		return st.Aggregate()
+	}
+	c.mu.Lock()
+	last := c.last
+	c.mu.Unlock()
+	if last == nil {
+		return nil, errors.New("veritas: campaign has not run (and has no store to report from)")
+	}
+	return last.Agg, nil
+}
+
+// WriteReport renders the campaign's aggregate report as aligned text:
+// the store-backed corpus report when the campaign persists (plus the
+// engine stats of the last run, if one ran in this process), or the
+// last run's fleet report otherwise. This is exactly what cmd/fleet
+// prints.
+func (c *Campaign) WriteReport(w io.Writer) error {
+	if c.opt.storeDir == "" {
+		c.mu.Lock()
+		last := c.last
+		c.mu.Unlock()
+		if last == nil {
+			return errors.New("veritas: campaign has not run")
+		}
+		return last.WriteReport(w)
+	}
+	agg, err := c.aggregator()
+	if err != nil {
+		return err
+	}
+	st, err := c.Store()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== corpus report: %d sessions stored in %s ==\n", st.Len(), c.opt.storeDir); err != nil {
+		return err
+	}
+	if err := agg.WriteAggregate(w); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	last := c.last
+	c.mu.Unlock()
+	if last != nil {
+		return last.WriteEngineStats(w)
+	}
+	return nil
+}
+
+// Handler returns the HTTP query API over the campaign's store (list
+// sessions and scenarios, fetch per-session what-if results, aggregate
+// reports with generation-keyed ETags), read-cached per WithReadCache.
+func (c *Campaign) Handler() (http.Handler, error) {
+	st, err := c.Store()
+	if err != nil {
+		return nil, err
+	}
+	return store.NewHandler(st, store.ServeOptions{CacheEntries: c.opt.readCache}), nil
+}
+
+// Serve serves the campaign's store over HTTP on addr until ctx is
+// cancelled, then drains in-flight requests for up to five seconds.
+// Attach to a store another process is still writing with
+// WithReadOnlyStore.
+func (c *Campaign) Serve(ctx context.Context, addr string) error {
+	h, err := c.Handler()
+	if err != nil {
+		return err
+	}
+	return serveHTTP(ctx, addr, h)
+}
+
+// Close releases the campaign's store handle, if one was opened. The
+// campaign remains inspectable but can no longer run, report or serve.
+// Close refuses while a Run, Resume or Results is in flight — closing
+// the store under active workers would abort the run mid-append;
+// cancel the run's context (or drain the result stream) first.
+func (c *Campaign) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return errors.New("veritas: campaign is running; cancel or drain it before Close")
+	}
+	if c.st == nil {
+		return nil
+	}
+	err := c.st.Close()
+	c.st = nil
+	return err
+}
+
+// multiSink fans completed sessions out to several sinks in order; the
+// first error aborts the run.
+type multiSink []FleetSink
+
+func (m multiSink) Put(r FleetSessionResult) error {
+	for _, s := range m {
+		if err := s.Put(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"veritas"
 	"veritas/internal/experiments"
 )
 
@@ -25,7 +27,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv or json")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		workers  = flag.Int("workers", 0, "fleet-engine worker pool size (0 = GOMAXPROCS)")
-		scenario = flag.String("scenario", "", "bandwidth regime for the counterfactual trace set: fcc, lte or wifi (default fcc)")
+		scenario = flag.String("scenario", "", "bandwidth regime for the counterfactual trace set: "+strings.Join(veritas.TraceRegimes(), ", ")+" (default fcc)")
 	)
 	flag.Parse()
 

@@ -11,6 +11,10 @@
 // skips every session already on disk and computes only the remainder,
 // producing the exact aggregate an uninterrupted run would have.
 //
+// The command is a thin flag veneer over veritas.NewCampaign: every
+// flag maps onto one campaign option, and the campaign carries the
+// corpus, matrix, store fingerprinting, resume and reporting.
+//
 // Usage:
 //
 //	fleet                                   # default campaign: 4 scenarios x 8 sessions, bba/bola x 5s/30s
@@ -26,14 +30,10 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"reflect"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,8 +41,8 @@ import (
 	"veritas"
 )
 
-// options collects the parsed flags so validation is testable apart
-// from flag.Parse and os.Exit.
+// options collects the parsed flags so the flag→campaign mapping is
+// testable apart from flag.Parse and os.Exit.
 type options struct {
 	workers   int
 	sessions  int
@@ -54,154 +54,52 @@ type options struct {
 	abrs      []string
 	buffers   []float64
 	nocache   bool
-	progress  bool
 	storeDir  string
 	resume    bool
 }
 
-// validate rejects bad flag combinations up front, before any corpus
-// is built or worker started.
-func (o options) validate() error {
-	switch {
-	case o.workers < 0:
-		return fmt.Errorf("-workers %d is negative (0 means GOMAXPROCS)", o.workers)
-	case o.sessions <= 0:
-		return fmt.Errorf("-sessions %d must be positive", o.sessions)
-	case o.chunks < 0:
-		return fmt.Errorf("-chunks %d is negative (0 means the full clip)", o.chunks)
-	case o.samples <= 0:
-		return fmt.Errorf("-samples %d must be positive (the paper uses 5)", o.samples)
-	case o.buffer <= 0:
-		return fmt.Errorf("-buffer %g must be positive seconds", o.buffer)
-	case len(o.abrs) == 0:
-		return fmt.Errorf("-abrs must name at least one of %s", strings.Join(veritas.FleetABRs(), ","))
-	case len(o.buffers) == 0:
-		return fmt.Errorf("-buffers must list at least one size")
-	case o.resume && o.storeDir == "":
-		return fmt.Errorf("-resume needs -store: there is nowhere to resume from")
+// campaignOptions maps the flags onto the Campaign API, one option per
+// flag. Validation (unknown scenarios and ABRs, duplicates, sign
+// errors, resume-without-store) lives in veritas.NewCampaign now, not
+// here.
+func (o options) campaignOptions() []veritas.CampaignOption {
+	opts := []veritas.CampaignOption{
+		veritas.WithWorkers(o.workers),
+		veritas.WithSessions(o.sessions),
+		veritas.WithChunks(o.chunks),
+		veritas.WithSamples(o.samples),
+		veritas.WithSeed(o.seed),
+		veritas.WithDeployedBuffer(o.buffer),
+		veritas.WithMatrix(o.abrs, o.buffers),
 	}
-	seenBuf := make(map[float64]bool)
-	for _, b := range o.buffers {
-		if b <= 0 {
-			return fmt.Errorf("-buffers entry %g must be positive seconds", b)
-		}
-		if seenBuf[b] {
-			// Duplicates collide on arm names ("bba-5s" twice) and
-			// double-count every session in the aggregates.
-			return fmt.Errorf("-buffers: %g listed twice", b)
-		}
-		seenBuf[b] = true
+	if len(o.scenarios) > 0 {
+		opts = append(opts, veritas.WithScenarios(o.scenarios...))
 	}
-	known := make(map[string]bool)
-	for _, s := range veritas.FleetScenarios() {
-		known[s] = true
+	if o.storeDir != "" {
+		opts = append(opts, veritas.WithStore(o.storeDir))
 	}
-	seenScen := make(map[string]bool)
-	for _, s := range o.scenarios {
-		if !known[s] {
-			return fmt.Errorf("-scenarios: unknown scenario %q (have %s)",
-				s, strings.Join(veritas.FleetScenarios(), ","))
-		}
-		if seenScen[s] {
-			// Duplicates would produce sessions with colliding IDs,
-			// which a store silently collapses (last write wins).
-			return fmt.Errorf("-scenarios: %q listed twice", s)
-		}
-		seenScen[s] = true
+	if o.resume {
+		opts = append(opts, veritas.WithResume())
 	}
-	seenABR := make(map[string]bool)
-	for _, a := range o.abrs {
-		ok := false
-		for _, k := range veritas.FleetABRs() {
-			if a == k {
-				ok = true
-			}
-		}
-		if !ok {
-			return fmt.Errorf("-abrs: unknown ABR %q (have %s)", a, strings.Join(veritas.FleetABRs(), ","))
-		}
-		if seenABR[a] {
-			return fmt.Errorf("-abrs: %q listed twice", a)
-		}
-		seenABR[a] = true
+	if o.nocache {
+		opts = append(opts, veritas.WithoutMemoization())
 	}
-	return nil
-}
-
-// campaignMeta fingerprints every flag that shapes results. It is
-// persisted as campaign.json inside the store directory so a later run
-// against the same store can refuse to silently mix rows computed under
-// different settings into one "coherent" aggregate.
-type campaignMeta struct {
-	Scenarios   []string
-	SessionsPer int
-	Chunks      int
-	Samples     int
-	Seed        int64
-	Buffer      float64
-	ABRs        []string
-	Buffers     []float64
-}
-
-func (o options) meta() campaignMeta {
-	return campaignMeta{
-		Scenarios:   o.scenarios,
-		SessionsPer: o.sessions,
-		Chunks:      o.chunks,
-		Samples:     o.samples,
-		Seed:        o.seed,
-		Buffer:      o.buffer,
-		ABRs:        o.abrs,
-		Buffers:     o.buffers,
-	}
-}
-
-// checkCampaignMeta records this campaign's fingerprint in a fresh
-// store and rejects a store written under different flags.
-func checkCampaignMeta(dir string, o options) error {
-	path := filepath.Join(dir, "campaign.json")
-	want := o.meta()
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		b, err := json.MarshalIndent(want, "", "  ")
-		if err != nil {
-			return err
-		}
-		// Write-then-rename: a crash mid-write must not leave a torn
-		// JSON file that would block every later -resume.
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, b, 0o644); err != nil {
-			return err
-		}
-		return os.Rename(tmp, path)
-	}
-	if err != nil {
-		return err
-	}
-	var have campaignMeta
-	if err := json.Unmarshal(data, &have); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if !reflect.DeepEqual(have, want) {
-		return fmt.Errorf("store %s holds a campaign run with different flags (see %s); repeat them exactly or use a fresh -store",
-			dir, path)
-	}
-	return nil
+	return opts
 }
 
 func main() {
 	var o options
 	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&o.sessions, "sessions", 8, "sessions per scenario")
-	scenarios := flag.String("scenarios", "", "comma-separated scenarios (default: all of "+strings.Join(veritas.FleetScenarios(), ",")+")")
+	scenarios := flag.String("scenarios", "", "comma-separated scenarios (default: all of "+strings.Join(veritas.Scenarios(), ",")+")")
 	flag.IntVar(&o.chunks, "chunks", 120, "chunks per session (0 = full 10-min clip)")
 	flag.IntVar(&o.samples, "samples", 5, "Veritas posterior samples K")
 	flag.Int64Var(&o.seed, "seed", 1, "base seed for the whole campaign")
 	flag.Float64Var(&o.buffer, "buffer", 5, "deployed (Setting A) buffer size, seconds")
-	abrs := flag.String("abrs", "bba,bola", "comma-separated what-if ABRs ("+strings.Join(veritas.FleetABRs(), ",")+")")
+	abrs := flag.String("abrs", "bba,bola", "comma-separated what-if ABRs ("+strings.Join(veritas.ABRs(), ",")+")")
 	buffers := flag.String("buffers", "5,30", "comma-separated what-if buffer sizes, seconds")
 	flag.BoolVar(&o.nocache, "nocache", false, "disable the emission memoization cache")
-	flag.BoolVar(&o.progress, "progress", false, "print per-session completions to stderr")
+	progress := flag.Bool("progress", false, "print per-session completions to stderr")
 	flag.StringVar(&o.storeDir, "store", "", "persist per-session results to this store directory")
 	flag.BoolVar(&o.resume, "resume", false, "skip sessions already present in -store")
 	flag.Parse()
@@ -213,107 +111,67 @@ func main() {
 		fatal(fmt.Errorf("-buffers: %w", err))
 	}
 	o.buffers = bufVals
-	if err := o.validate(); err != nil {
-		fatal(err)
-	}
 
-	ccfg := veritas.CorpusConfig{
-		Scenarios:   o.scenarios,
-		SessionsPer: o.sessions,
-		NumChunks:   o.chunks,
-		BufferCap:   o.buffer,
-		Seed:        o.seed,
+	opts := o.campaignOptions()
+	var total int
+	if *progress {
+		opts = append(opts, veritas.WithProgress(func(r veritas.FleetSessionResult) {
+			fmt.Fprintf(os.Stderr, "done %s (%d arms)   [corpus of %d]\n", r.ID, len(r.Arms), total)
+		}))
 	}
-	corpus, err := veritas.BuildCorpus(ccfg)
+	c, err := veritas.NewCampaign(opts...)
 	if err != nil {
 		fatal(err)
 	}
-	arms, err := veritas.FleetMatrix(ccfg, o.abrs, o.buffers)
-	if err != nil {
-		fatal(err)
-	}
+	defer c.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	fcfg := veritas.FleetConfig{
-		Workers:      o.workers,
-		Samples:      o.samples,
-		Seed:         o.seed,
-		DisableCache: o.nocache,
-	}
-
-	var st *veritas.FleetStore
 	if o.storeDir != "" {
-		st, err = veritas.OpenStore(o.storeDir, veritas.FleetStoreOptions{})
+		// Opening the store up front runs the campaign-fingerprint
+		// check before any corpus is built or worker started.
+		st, err := c.Store()
 		if err != nil {
-			fatal(err)
-		}
-		defer st.Close()
-		if err := checkCampaignMeta(o.storeDir, o); err != nil {
 			fatal(err)
 		}
 		if rec := st.Recovered(); rec > 0 {
 			fmt.Fprintf(os.Stderr, "fleet: store recovered: dropped %d torn tail bytes from the previous run\n", rec)
 		}
-		fcfg.Sink = st
 		if o.resume {
-			skip := make(map[string]bool)
-			for _, k := range st.Keys() {
-				skip[k] = true
-			}
-			fcfg.Skip = skip
-			fmt.Fprintf(os.Stderr, "fleet: resume: %d sessions already stored\n", len(skip))
+			fmt.Fprintf(os.Stderr, "fleet: resume: %d sessions already stored\n", st.Len())
 		} else if st.Len() > 0 {
 			fmt.Fprintf(os.Stderr, "fleet: store already holds %d sessions (use -resume to skip them)\n", st.Len())
 		}
 	}
 
-	if o.progress {
-		total := len(corpus)
-		fcfg.OnResult = func(r veritas.FleetSessionResult) {
-			fmt.Fprintf(os.Stderr, "done %s (%d arms)   [corpus of %d]\n", r.ID, len(r.Arms), total)
-		}
+	corpus, err := c.Corpus()
+	if err != nil {
+		fatal(err)
+	}
+	total = len(corpus)
+	arms, err := c.Arms()
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "fleet: %d sessions x %d arms, %d posterior samples\n",
 		len(corpus), len(arms), o.samples)
 
-	res, err := veritas.RunFleet(ctx, fcfg, corpus, arms)
-	if err != nil {
-		if st != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if _, err := c.Run(ctx); err != nil {
+		if o.storeDir != "" {
 			// Keep finished sessions durable for -resume; a sync
 			// failure here means they may NOT have survived, which the
 			// user must hear about before trusting -resume.
-			if serr := st.Sync(); serr != nil {
-				fmt.Fprintf(os.Stderr, "fleet: WARNING: store sync failed (%v); stored sessions may be incomplete\n", serr)
+			if st, serr := c.Store(); serr == nil {
+				if serr := st.Sync(); serr != nil {
+					fmt.Fprintf(os.Stderr, "fleet: WARNING: store sync failed (%v); stored sessions may be incomplete\n", serr)
+				}
 			}
 		}
 		fatal(err)
 	}
 
-	if st == nil {
-		if err := res.WriteReport(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
-	}
-
-	// Store-backed report: aggregate by re-reading what was persisted,
-	// so the report covers prior (resumed-over) runs too and is
-	// byte-identical to what the in-RAM aggregator of an uninterrupted
-	// campaign would print.
-	if err := st.Sync(); err != nil {
-		fatal(err)
-	}
-	agg, err := st.Aggregate()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("== corpus report: %d sessions stored in %s ==\n", st.Len(), o.storeDir)
-	if err := agg.WriteAggregate(os.Stdout); err != nil {
-		fatal(err)
-	}
-	if err := res.WriteEngineStats(os.Stdout); err != nil {
+	if err := c.WriteReport(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"veritas"
 )
 
 // goodOptions mirrors the flag defaults.
@@ -18,44 +20,68 @@ func goodOptions() options {
 	}
 }
 
-func TestValidateAcceptsDefaults(t *testing.T) {
-	if err := goodOptions().validate(); err != nil {
-		t.Fatalf("default options rejected: %v", err)
+// build maps flags onto the Campaign API, which owns validation now.
+func build(o options) (*veritas.Campaign, error) {
+	return veritas.NewCampaign(o.campaignOptions()...)
+}
+
+func TestFlagsMapOntoCampaign(t *testing.T) {
+	c, err := build(goodOptions())
+	if err != nil {
+		t.Fatalf("default flags rejected: %v", err)
 	}
+	corpus, err := c.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(veritas.Scenarios()) * 8; len(corpus) != want {
+		t.Errorf("default corpus has %d sessions, want %d", len(corpus), want)
+	}
+	arms, err := c.Arms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 4 {
+		t.Errorf("default matrix has %d arms, want bba/bola x 5s/30s = 4", len(arms))
+	}
+
 	o := goodOptions()
 	o.storeDir = "campaign.store"
 	o.resume = true
 	o.scenarios = []string{"lte", "wifi"}
-	if err := o.validate(); err != nil {
-		t.Fatalf("valid store+resume options rejected: %v", err)
+	if _, err := build(o); err != nil {
+		t.Fatalf("valid store+resume flags rejected: %v", err)
 	}
 }
 
-func TestValidateRejectsBadCombinations(t *testing.T) {
+func TestBadFlagsRejectedByCampaign(t *testing.T) {
 	cases := []struct {
 		name   string
 		mutate func(*options)
 		want   string
 	}{
-		{"resume without store", func(o *options) { o.resume = true }, "-resume needs -store"},
-		{"negative workers", func(o *options) { o.workers = -2 }, "-workers"},
-		{"zero sessions", func(o *options) { o.sessions = 0 }, "-sessions"},
-		{"negative chunks", func(o *options) { o.chunks = -1 }, "-chunks"},
-		{"zero samples", func(o *options) { o.samples = 0 }, "-samples"},
-		{"nonpositive buffer", func(o *options) { o.buffer = 0 }, "-buffer"},
-		{"no abrs", func(o *options) { o.abrs = nil }, "-abrs"},
+		{"negative workers", func(o *options) { o.workers = -2 }, "negative"},
+		{"zero sessions", func(o *options) { o.sessions = 0 }, "must be positive"},
+		{"negative chunks", func(o *options) { o.chunks = -1 }, "negative"},
+		{"zero samples", func(o *options) { o.samples = 0 }, "must be positive"},
+		{"nonpositive buffer", func(o *options) { o.buffer = 0 }, "positive seconds"},
+		{"no abrs", func(o *options) { o.abrs = nil }, "at least one"},
 		{"unknown abr", func(o *options) { o.abrs = []string{"vhs"} }, `unknown ABR "vhs"`},
-		{"no buffers", func(o *options) { o.buffers = nil }, "-buffers"},
-		{"negative what-if buffer", func(o *options) { o.buffers = []float64{5, -1} }, "-buffers entry"},
+		{"no buffers", func(o *options) { o.buffers = nil }, "at least one"},
+		{"negative what-if buffer", func(o *options) { o.buffers = []float64{5, -1} }, "positive seconds"},
+		{"duplicate buffers", func(o *options) { o.buffers = []float64{5, 5} }, "listed twice"},
 		{"unknown scenario", func(o *options) { o.scenarios = []string{"dialup"} }, `unknown scenario "dialup"`},
+		{"duplicate scenarios", func(o *options) { o.scenarios = []string{"lte", "lte"} }, "listed twice"},
+		{"duplicate abrs", func(o *options) { o.abrs = []string{"bba", "bba"} }, "listed twice"},
+		{"resume without store", func(o *options) { o.resume = true }, "WithResume needs WithStore"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			o := goodOptions()
 			tc.mutate(&o)
-			err := o.validate()
+			_, err := build(o)
 			if err == nil {
-				t.Fatal("bad options accepted")
+				t.Fatal("bad flags accepted")
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
@@ -64,43 +90,18 @@ func TestValidateRejectsBadCombinations(t *testing.T) {
 	}
 }
 
-func TestCheckCampaignMeta(t *testing.T) {
-	dir := t.TempDir()
-	o := goodOptions()
-	if err := checkCampaignMeta(dir, o); err != nil {
-		t.Fatalf("fresh store: %v", err)
+func TestSplitCSVAndParseFloats(t *testing.T) {
+	if got := splitCSV(" lte, wifi ,"); len(got) != 2 || got[0] != "lte" || got[1] != "wifi" {
+		t.Errorf("splitCSV = %v", got)
 	}
-	if err := checkCampaignMeta(dir, o); err != nil {
-		t.Fatalf("identical flags rejected: %v", err)
+	if got := splitCSV("  "); got != nil {
+		t.Errorf("splitCSV on blank = %v, want nil", got)
 	}
-	changed := o
-	changed.chunks = 300
-	err := checkCampaignMeta(dir, changed)
-	if err == nil {
-		t.Fatal("changed -chunks accepted against an existing campaign store")
+	vals, err := parseFloats("5, 30")
+	if err != nil || len(vals) != 2 || vals[1] != 30 {
+		t.Errorf("parseFloats = %v, %v", vals, err)
 	}
-	if !strings.Contains(err.Error(), "different flags") {
-		t.Errorf("unhelpful mismatch error: %v", err)
-	}
-}
-
-func TestValidateRejectsDuplicates(t *testing.T) {
-	o := goodOptions()
-	o.scenarios = []string{"lte", "lte"}
-	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "listed twice") {
-		t.Errorf("duplicate scenarios: err = %v", err)
-	}
-	o = goodOptions()
-	o.abrs = []string{"bba", "bba"}
-	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "listed twice") {
-		t.Errorf("duplicate abrs: err = %v", err)
-	}
-}
-
-func TestValidateRejectsDuplicateBuffers(t *testing.T) {
-	o := goodOptions()
-	o.buffers = []float64{5, 5}
-	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "listed twice") {
-		t.Errorf("duplicate buffers: err = %v", err)
+	if _, err := parseFloats("5,abc"); err == nil {
+		t.Error("parseFloats accepted garbage")
 	}
 }

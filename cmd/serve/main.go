@@ -1,8 +1,8 @@
 // Command serve exposes a fleet result store over HTTP: the first
-// serving-layer brick. It opens the store read-only (a campaign may
-// still be appending to it) and answers causal-query reads — no
-// inference runs at request time, everything is served from the
-// persisted corpus through an in-process read cache.
+// serving-layer brick. It attaches a read-only campaign to the store
+// (a campaign may still be appending to it) and answers causal-query
+// reads — no inference runs at request time, everything is served from
+// the persisted corpus through an in-process read cache.
 //
 // Endpoints:
 //
@@ -11,7 +11,9 @@
 //	GET /v1/sessions/{id}         one session's what-if results
 //	GET /v1/scenarios             scenario labels with session counts
 //	GET /v1/report[?scenario=]    aggregate report JSON (identical to the
-//	                              in-RAM aggregator's report for the corpus)
+//	                              in-RAM aggregator's report for the corpus),
+//	                              with a store-generation ETag; conditional
+//	                              requests answer 304 Not Modified
 //
 // Usage:
 //
@@ -42,11 +44,19 @@ func main() {
 		fatal(fmt.Errorf("-store is required"))
 	}
 
-	st, err := veritas.OpenStore(*dir, veritas.FleetStoreOptions{ReadOnly: true})
+	c, err := veritas.NewCampaign(
+		veritas.WithStore(*dir),
+		veritas.WithReadOnlyStore(),
+		veritas.WithReadCache(*cache),
+	)
 	if err != nil {
 		fatal(err)
 	}
-	defer st.Close()
+	defer c.Close()
+	st, err := c.Store()
+	if err != nil {
+		fatal(err)
+	}
 	if rec := st.Recovered(); rec > 0 {
 		fmt.Fprintf(os.Stderr, "serve: skipped %d torn tail bytes (campaign crashed mid-append?)\n", rec)
 	}
@@ -54,7 +64,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := veritas.ServeStore(ctx, *addr, st, *cache); err != nil && err != http.ErrServerClosed {
+	if err := c.Serve(ctx, *addr); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 }

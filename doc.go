@@ -21,10 +21,15 @@
 //     hypothetical next chunks.
 //   - Baseline and Oracle provide the comparison estimators the paper
 //     evaluates against.
-//   - RunFleet batches all of the above over a corpus of sessions on
-//     the concurrent fleet engine (internal/engine): sharded workers,
-//     per-session emission memoization, and a streaming aggregator
-//     whose results are identical for every worker count.
+//   - NewCampaign batches all of the above over a corpus of sessions:
+//     one options-built Campaign spans the concurrent fleet engine
+//     (internal/engine: sharded workers, per-session emission
+//     memoization, a streaming aggregator whose results are identical
+//     for every worker count) and the persistent corpus store
+//     (internal/store), with Run/Resume/Results/Report/Serve tying a
+//     campaign's execution, durability, streaming iteration and HTTP
+//     serving together. The older free functions (RunFleet,
+//     BuildCorpus, FleetMatrix, ...) remain as deprecated shims.
 //
 // Everything the pipeline needs is included: a bandwidth-trace
 // substrate with an FCC-like generator, a TCP/network emulator standing
@@ -44,6 +49,16 @@
 //		BufferCap: 5,
 //	})
 //	fmt.Println(outcome.SSIMRange())
+//
+// And at fleet scale:
+//
+//	c, _ := veritas.NewCampaign(
+//		veritas.WithSessions(25),
+//		veritas.WithMatrix([]string{"bba", "bola"}, []float64{5, 30}),
+//		veritas.WithStore("campaign.store"),
+//	)
+//	res, _ := c.Run(ctx)
+//	rep, _ := c.Report()
 //
 // All randomness is seeded and every run is reproducible.
 package veritas

@@ -1,14 +1,17 @@
 // ABR switch: the paper's Figure 8/9 scenario over a trace set.
 //
 // A publisher has been running MPC and wants to know, from logs alone,
-// what switching to BBA (or BOLA) would do to SSIM and rebuffering. We
-// run the deployed system over many traces, answer the counterfactual
-// with Baseline and Veritas, and compare both against the oracle.
+// what switching to BBA (or BOLA) would do to SSIM and rebuffering.
+// One Campaign carries the whole study: a corpus of FCC-like sessions
+// streamed by the deployed MPC, and one what-if arm per candidate
+// algorithm, answered with Baseline and Veritas and compared against
+// the oracle.
 //
 //	go run ./examples/abrswitch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,6 +22,24 @@ import (
 const numTraces = 10
 
 func main() {
+	// The corpus: ten FCC-like ground-truth traces, each streamed by
+	// the deployed system (MPC, 5 s buffer — the campaign defaults).
+	specs := make([]veritas.FleetSpec, numTraces)
+	for i := range specs {
+		gt, err := veritas.GenerateTrace(veritas.DefaultTraceConfig(int64(100 + i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs[i] = veritas.FleetSpec{
+			ID:        fmt.Sprintf("fcc-%03d", i),
+			Trace:     gt,
+			MaxChunks: 150,
+			Abduct:    veritas.AbductionConfig{Seed: int64(i + 1)},
+		}
+	}
+
+	// The matrix: one arm per candidate replacement.
+	var arms []veritas.FleetArm
 	for _, alt := range []struct {
 		name   string
 		newABR func() veritas.ABR
@@ -26,35 +47,31 @@ func main() {
 		{"BBA", veritas.NewBBA},
 		{"BOLA", veritas.NewBOLA},
 	} {
-		fmt.Printf("=== what if MPC were replaced by %s? (%d traces) ===\n", alt.name, numTraces)
+		arm, err := veritas.NewArm(alt.name, veritas.WhatIf{NewABR: alt.newABR})
+		if err != nil {
+			log.Fatal(err)
+		}
+		arms = append(arms, arm)
+	}
+
+	c, err := veritas.NewCampaign(veritas.WithCorpus(specs...), veritas.WithArms(arms...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for ai, arm := range arms {
+		fmt.Printf("=== what if MPC were replaced by %s? (%d traces) ===\n", arm.Name, numTraces)
 		var truthReb, baseReb, vLoReb, vHiReb []float64
-		for i := 0; i < numTraces; i++ {
-			gt, err := veritas.GenerateTrace(veritas.DefaultTraceConfig(int64(100 + i)))
-			if err != nil {
-				log.Fatal(err)
-			}
-			sess, err := veritas.RunSession(veritas.SessionConfig{
-				Trace: gt, ABR: veritas.NewMPC(), MaxChunks: 150,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			abd, err := veritas.Abduct(sess.Log, veritas.AbductionConfig{Seed: int64(i + 1)})
-			if err != nil {
-				log.Fatal(err)
-			}
-			w := veritas.WhatIf{NewABR: alt.newABR}
-			outcome, err := veritas.Counterfactual(abd, w)
-			if err != nil {
-				log.Fatal(err)
-			}
-			truth, err := veritas.Oracle(gt, w)
-			if err != nil {
-				log.Fatal(err)
-			}
-			lo, hi := outcome.RebufRange()
-			truthReb = append(truthReb, truth.RebufRatio*100)
-			baseReb = append(baseReb, outcome.Baseline.RebufRatio*100)
+		for _, s := range res.Sessions {
+			oc := s.Arms[ai]
+			out := veritas.Outcome{Baseline: oc.Baseline, Samples: oc.Samples}
+			lo, hi := out.RebufRange()
+			truthReb = append(truthReb, oc.Truth.RebufRatio*100)
+			baseReb = append(baseReb, oc.Baseline.RebufRatio*100)
 			vLoReb = append(vLoReb, lo*100)
 			vHiReb = append(vHiReb, hi*100)
 		}

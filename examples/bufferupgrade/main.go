@@ -1,14 +1,16 @@
 // Buffer upgrade: the paper's Figure 10 scenario.
 //
 // The deployed player buffers only 5 seconds of video (low latency).
-// Product wants to know what a 30-second buffer would buy. We answer
-// from logs with Veritas and show how the Baseline's conservative
-// bandwidth estimate distorts the answer.
+// Product wants to know what a 10- or 30-second buffer would buy. One
+// Campaign answers it: a single deployed session in the corpus and an
+// MPC × {10 s, 30 s} what-if matrix, showing how the Baseline's
+// conservative bandwidth estimate distorts the answer.
 //
 //	go run ./examples/bufferupgrade
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,39 +22,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess, err := veritas.RunSession(veritas.SessionConfig{
-		Trace: gt,
-		ABR:   veritas.NewMPC(),
-		// Deployed setting: 5 s buffer.
-		BufferCap: 5,
-	})
+	c, err := veritas.NewCampaign(
+		veritas.WithCorpus(veritas.FleetSpec{
+			ID:    "deployed",
+			Trace: gt,
+			// Deployed setting: MPC with a 5 s buffer (the defaults).
+		}),
+		veritas.WithMatrix([]string{"mpc"}, []float64{10, 30}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Sessions[0]
 	fmt.Printf("deployed (5 s buffer):  SSIM %.4f  bitrate %.2f Mbps\n",
-		sess.Metrics.AvgSSIM, sess.Metrics.AvgBitrateMbps)
+		s.SettingA.AvgSSIM, s.SettingA.AvgBitrateMbps)
 
-	abd, err := veritas.Abduct(sess.Log, veritas.AbductionConfig{})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	for _, buf := range []float64{10, 30} {
-		w := veritas.WhatIf{NewABR: veritas.NewMPC, BufferCap: buf}
-		outcome, err := veritas.Counterfactual(abd, w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth, err := veritas.Oracle(gt, w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ssimLo, ssimHi := outcome.SSIMRange()
-		brLo, brHi := outcome.BitrateRange()
-		fmt.Printf("\nwhat-if buffer = %2.0f s:\n", buf)
-		fmt.Printf("  oracle:   SSIM %.4f  bitrate %.2f Mbps\n", truth.AvgSSIM, truth.AvgBitrateMbps)
+	for _, oc := range s.Arms {
+		out := veritas.Outcome{Baseline: oc.Baseline, Samples: oc.Samples}
+		ssimLo, ssimHi := out.SSIMRange()
+		brLo, brHi := out.BitrateRange()
+		fmt.Printf("\nwhat-if arm %s:\n", oc.Name)
+		fmt.Printf("  oracle:   SSIM %.4f  bitrate %.2f Mbps\n", oc.Truth.AvgSSIM, oc.Truth.AvgBitrateMbps)
 		fmt.Printf("  baseline: SSIM %.4f  bitrate %.2f Mbps\n",
-			outcome.Baseline.AvgSSIM, outcome.Baseline.AvgBitrateMbps)
+			oc.Baseline.AvgSSIM, oc.Baseline.AvgBitrateMbps)
 		fmt.Printf("  veritas:  SSIM %.4f-%.4f  bitrate %.2f-%.2f Mbps\n",
 			ssimLo, ssimHi, brLo, brHi)
 	}

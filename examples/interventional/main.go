@@ -5,10 +5,16 @@
 // picked. We compare Veritas's interventional predictor against the
 // true forked futures on a session driven by random bitrate choices.
 //
+// The per-prefix abductions batch on one Campaign: each corpus spec
+// carries a prefix of the session log (the predictor may not peek at
+// the future) and one Predict query for the chunk that actually
+// followed.
+//
 //	go run ./examples/interventional
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,20 +41,39 @@ func main() {
 		log.Fatal(err)
 	}
 
+	recs := sess.Log.Records
+	var specs []veritas.FleetSpec
+	var queried []int
+	for n := 40; n < len(recs); n += 25 {
+		rec := recs[n]
+		specs = append(specs, veritas.FleetSpec{
+			ID:  fmt.Sprintf("prefix-%03d", n),
+			Log: sess.Log.Prefix(n),
+			Abduct: veritas.AbductionConfig{
+				NumSamples: 1, Seed: int64(n),
+			},
+			Predict: []veritas.FleetPredictQuery{
+				{StartSecs: rec.Start, TCP: rec.TCP, SizeBytes: rec.SizeBytes},
+			},
+		})
+		queried = append(queried, n)
+	}
+
+	c, err := veritas.NewCampaign(veritas.WithCorpus(specs...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("chunk  size(KB)  true DL(s)  veritas DL(s)  abs err")
 	var absErrs []float64
-	recs := sess.Log.Records
-	for n := 40; n < len(recs); n += 25 {
-		// Abduce from the session prefix only: the predictor may not
-		// peek at the future.
-		abd, err := veritas.Abduct(sess.Log.Prefix(n), veritas.AbductionConfig{
-			NumSamples: 1, Seed: int64(n),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, s := range res.Sessions {
+		n := queried[i]
 		rec := recs[n]
-		pred := veritas.PredictDownloadTime(abd, rec.Start, rec.TCP, rec.SizeBytes)
+		pred := s.Predictions[0]
 		actual := rec.End - rec.Start
 		absErrs = append(absErrs, math.Abs(pred-actual))
 		fmt.Printf("%5d  %8.0f  %10.2f  %13.2f  %7.2f\n",

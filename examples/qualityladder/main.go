@@ -9,10 +9,14 @@
 // observations through its TCP-aware model, predicts (correctly) that
 // the network can carry the higher ladder with almost no rebuffering.
 //
+// The whole study is one Campaign: eight FCC-like deployed sessions in
+// the corpus, one what-if arm carrying the higher ladder.
+//
 //	go run ./examples/qualityladder
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,38 +28,44 @@ const numTraces = 8
 
 func main() {
 	hv := veritas.HigherQualityVideo(1)
-	w := veritas.WhatIf{NewABR: veritas.NewMPC, Video: hv}
+	arm, err := veritas.NewArm("higher-ladder", veritas.WhatIf{NewABR: veritas.NewMPC, Video: hv})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var truthReb, baseReb, vHiReb []float64
-	for i := 0; i < numTraces; i++ {
+	specs := make([]veritas.FleetSpec, numTraces)
+	for i := range specs {
 		gt, err := veritas.GenerateTrace(veritas.DefaultTraceConfig(int64(200 + i)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		sess, err := veritas.RunSession(veritas.SessionConfig{
-			Trace: gt, ABR: veritas.NewMPC(), MaxChunks: 150,
-		})
-		if err != nil {
-			log.Fatal(err)
+		specs[i] = veritas.FleetSpec{
+			ID:        fmt.Sprintf("fcc-%03d", i),
+			Trace:     gt,
+			MaxChunks: 150,
+			Abduct:    veritas.AbductionConfig{Seed: int64(i + 1)},
 		}
-		abd, err := veritas.Abduct(sess.Log, veritas.AbductionConfig{Seed: int64(i + 1)})
-		if err != nil {
-			log.Fatal(err)
-		}
-		outcome, err := veritas.Counterfactual(abd, w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth, err := veritas.Oracle(gt, w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		_, hi := outcome.RebufRange()
-		truthReb = append(truthReb, truth.RebufRatio*100)
-		baseReb = append(baseReb, outcome.Baseline.RebufRatio*100)
+	}
+
+	c, err := veritas.NewCampaign(veritas.WithCorpus(specs...), veritas.WithArms(arm))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var truthReb, baseReb, vHiReb []float64
+	for i, s := range res.Sessions {
+		oc := s.Arms[0]
+		out := veritas.Outcome{Baseline: oc.Baseline, Samples: oc.Samples}
+		_, hi := out.RebufRange()
+		truthReb = append(truthReb, oc.Truth.RebufRatio*100)
+		baseReb = append(baseReb, oc.Baseline.RebufRatio*100)
 		vHiReb = append(vHiReb, hi*100)
 		fmt.Printf("trace %d: rebuf%% oracle %.2f | baseline %.2f | veritas(high) %.2f\n",
-			i, truth.RebufRatio*100, outcome.Baseline.RebufRatio*100, hi*100)
+			i, oc.Truth.RebufRatio*100, oc.Baseline.RebufRatio*100, hi*100)
 	}
 	fmt.Printf("\nmedian rebuffering with the higher ladder:\n")
 	fmt.Printf("  oracle          %.2f%%   (the network can carry it)\n", median(truthReb))

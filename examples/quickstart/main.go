@@ -7,10 +7,14 @@
 // this is a simulation we also replay the oracle (the true bandwidth)
 // to show how close Veritas gets.
 //
+// Finally we ask the same question at fleet scale: one Campaign runs
+// the whole pipeline over a scenario-diverse corpus.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,4 +69,28 @@ func main() {
 		outcome.Baseline.AvgSSIM, outcome.Baseline.RebufRatio*100)
 	fmt.Printf("  veritas range:   SSIM %.4f-%.4f  rebuf %5.2f%%-%.2f%%\n",
 		ssimLo, ssimHi, rebLo*100, rebHi*100)
+
+	// 6. The same question at fleet scale: a Campaign runs the whole
+	// pipeline (simulate, abduct, replay the matrix) over a corpus of
+	// sessions and aggregates the answers.
+	c, err := veritas.NewCampaign(
+		veritas.WithScenarios("fcc"),
+		veritas.WithSessions(4),
+		veritas.WithChunks(60),
+		veritas.WithSamples(2),
+		veritas.WithSeed(42),
+		veritas.WithMatrix([]string{"bba"}, []float64{5}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := c.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfleet (4 FCC sessions, arm %s): %d sessions aggregated\n",
+		rep.Arms[0].Arm, rep.Sessions)
 }

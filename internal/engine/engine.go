@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"veritas/internal/abduction"
@@ -79,6 +80,11 @@ type Config struct {
 	// therefore their derived abduction seed — so a resumed campaign
 	// computes exactly what an uninterrupted one would have.
 	Skip map[string]bool
+	// DiscardResults leaves Result.Sessions empty: completed sessions
+	// flow only through Sink/OnResult and the aggregator. This is what
+	// bounds a streaming consumer's memory — nothing per-session is
+	// retained beyond the aggregator's compact rows.
+	DiscardResults bool
 }
 
 func (c Config) workers() int {
@@ -270,11 +276,15 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 	}()
 
 	agg := NewAggregator(len(corpus))
-	results := make([]SessionResult, len(corpus))
+	var results []SessionResult
+	if !cfg.DiscardResults {
+		results = make([]SessionResult, len(corpus))
+	}
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
+		wg                     sync.WaitGroup
+		errOnce                sync.Once
+		firstErr               error
+		cacheHits, cacheMisses atomic.Uint64
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -299,6 +309,8 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 						fail(fmt.Errorf("engine: session %d (%s): %w", i, corpus[i].ID, err))
 						return
 					}
+					cacheHits.Add(res.Cache.Hits)
+					cacheMisses.Add(res.Cache.Misses)
 					agg.Add(res)
 					if cfg.Sink != nil {
 						if err := cfg.Sink.Put(res); err != nil {
@@ -318,7 +330,9 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 							res.Abd = nil
 						}
 					}
-					results[i] = res
+					if !cfg.DiscardResults {
+						results[i] = res
+					}
 				}
 			}
 		}()
@@ -331,16 +345,11 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 		return nil, err
 	}
 
-	var cache CacheStats
-	for _, r := range results {
-		cache.Hits += r.Cache.Hits
-		cache.Misses += r.Cache.Misses
-	}
 	powHits, powMisses := mathx.SharedPowerStats()
 	return &Result{
 		Sessions: results,
 		Agg:      agg,
-		Cache:    cache,
+		Cache:    CacheStats{Hits: cacheHits.Load(), Misses: cacheMisses.Load()},
 		Powers:   CacheStats{Hits: powHits - powHits0, Misses: powMisses - powMisses0},
 		Executed: executed,
 		Workers:  workers,

@@ -409,3 +409,80 @@ func TestSinkBoundsRetention(t *testing.T) {
 		t.Errorf("aggregator lost Setting-A rows under a sink: %d, want 2", len(got))
 	}
 }
+
+func TestStreamDeliversEveryRow(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	arms := testArms(30)
+	cfg := Config{Workers: 2, Samples: 2, Seed: 1}
+
+	want, err := Run(context.Background(), cfg, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, wait := Stream(context.Background(), cfg, corpus, arms)
+	seen := make(map[string]SessionRow)
+	for row := range rows {
+		if _, dup := seen[row.ID]; dup {
+			t.Errorf("row %s delivered twice", row.ID)
+		}
+		seen[row.ID] = row
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(corpus) {
+		t.Fatalf("streamed %d rows, want %d", len(seen), len(corpus))
+	}
+	if len(res.Sessions) != 0 {
+		t.Errorf("Stream retained %d session results, want 0", len(res.Sessions))
+	}
+	if res.Cache.Lookups() == 0 {
+		t.Error("cache stats lost on the streaming path")
+	}
+	// The streamed rows and aggregator match the plain Run.
+	if got, want := res.Agg.Completed(), want.Agg.Completed(); got != want {
+		t.Errorf("aggregator saw %d rows, want %d", got, want)
+	}
+	for _, s := range want.Sessions {
+		row, ok := seen[s.ID]
+		if !ok {
+			t.Errorf("session %s never streamed", s.ID)
+			continue
+		}
+		if row.Index != s.Index || len(row.Arms) != len(s.Arms) {
+			t.Errorf("row %s diverges from Run result", s.ID)
+		}
+	}
+}
+
+func TestStreamAbandonedConsumerCancels(t *testing.T) {
+	corpus := testCorpus(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, wait := Stream(ctx, Config{Workers: 2, Samples: 1, Seed: 1}, corpus, testArms(30))
+	// Read one row, then walk away: cancellation must unblock the
+	// workers parked on the unbuffered channel.
+	<-rows
+	cancel()
+	if _, err := wait(); err == nil {
+		t.Fatal("abandoned stream should surface the cancellation")
+	}
+}
+
+func TestDiscardResults(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	res, err := Run(context.Background(), Config{Workers: 2, Samples: 1, Seed: 1, DiscardResults: true}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 0 {
+		t.Fatalf("DiscardResults retained %d sessions", len(res.Sessions))
+	}
+	if res.Agg.Completed() != len(corpus) {
+		t.Errorf("aggregator saw %d rows, want %d", res.Agg.Completed(), len(corpus))
+	}
+	if res.Cache.Lookups() == 0 {
+		t.Error("cache stats lost with DiscardResults")
+	}
+}

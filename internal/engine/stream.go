@@ -1,0 +1,50 @@
+package engine
+
+import "context"
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(SessionResult) error
+
+func (f sinkFunc) Put(r SessionResult) error { return f(r) }
+
+// Stream runs the fleet like Run but delivers every completed session's
+// compact row on the returned channel, in completion order, as workers
+// finish — the iterator-friendly path for consumers that must never
+// hold the whole corpus in memory. Result.Sessions is left empty
+// (DiscardResults is forced); any Sink already set in cfg still
+// receives every full result before its row is sent.
+//
+// The channel is unbuffered and closes when the run ends. The caller
+// must drain it (or cancel ctx): an abandoned, undrained channel blocks
+// the workers until ctx is cancelled. wait blocks until the run ends
+// and returns what Run would have.
+func Stream(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (<-chan SessionRow, func() (*Result, error)) {
+	rows := make(chan SessionRow)
+	prev := cfg.Sink
+	cfg.Sink = sinkFunc(func(r SessionResult) error {
+		if prev != nil {
+			if err := prev.Put(r); err != nil {
+				return err
+			}
+		}
+		select {
+		case rows <- r.Row():
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	cfg.DiscardResults = true
+
+	var (
+		res  *Result
+		err  error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		defer close(rows)
+		res, err = Run(ctx, cfg, corpus, arms)
+	}()
+	return rows, func() (*Result, error) { <-done; return res, err }
+}

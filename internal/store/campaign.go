@@ -1,0 +1,78 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+)
+
+// CampaignMetaFile is the name of the fingerprint file OpenCampaign
+// maintains inside a store directory.
+const CampaignMetaFile = "campaign.json"
+
+// ErrCampaignMismatch is wrapped by OpenCampaign when the store was
+// written under a different campaign fingerprint.
+var ErrCampaignMismatch = errors.New("store: campaign fingerprint mismatch")
+
+// OpenCampaign opens (or creates) a campaign store: a store directory
+// carrying a JSON fingerprint of every setting that shapes results.
+// On a fresh directory the fingerprint is recorded (write-then-rename,
+// so a crash mid-write cannot leave a torn file that blocks every later
+// resume); on an existing one it must match, or OpenCampaign fails
+// wrapping ErrCampaignMismatch — mixing rows computed under different
+// settings into one "coherent" aggregate must never happen silently.
+//
+// fingerprint must be valid JSON; equality is structural, so formatting
+// differences do not matter. A nil fingerprint degrades to a plain
+// Open with no campaign discipline.
+func OpenCampaign(dir string, opt Options, fingerprint []byte) (*Store, error) {
+	s, err := Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	if fingerprint == nil {
+		return s, nil
+	}
+	if err := checkFingerprint(dir, fingerprint, opt.ReadOnly); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func checkFingerprint(dir string, want []byte, readOnly bool) error {
+	var wantVal any
+	if err := json.Unmarshal(want, &wantVal); err != nil {
+		return fmt.Errorf("store: campaign fingerprint is not valid JSON: %w", err)
+	}
+	path := filepath.Join(dir, CampaignMetaFile)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if readOnly {
+			return fmt.Errorf("store: %s carries no %s to verify against (not a campaign store?)", dir, CampaignMetaFile)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, want, 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var haveVal any
+	if err := json.Unmarshal(data, &haveVal); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if !reflect.DeepEqual(haveVal, wantVal) {
+		return fmt.Errorf("%w: %s holds a campaign run with different settings (see %s); repeat them exactly or use a fresh store",
+			ErrCampaignMismatch, dir, path)
+	}
+	return nil
+}

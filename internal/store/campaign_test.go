@@ -1,0 +1,77 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"veritas/internal/engine"
+)
+
+func TestOpenCampaignFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	fp := []byte(`{"Seed":1,"Chunks":120}`)
+
+	st, err := OpenCampaign(dir, Options{}, fp)
+	if err != nil {
+		t.Fatalf("fresh campaign: %v", err)
+	}
+	if err := st.Append(engine.SessionRow{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := os.Stat(filepath.Join(dir, CampaignMetaFile)); err != nil {
+		t.Fatalf("fingerprint not recorded: %v", err)
+	}
+
+	// Same fingerprint, even reformatted: accepted.
+	st, err = OpenCampaign(dir, Options{}, []byte(`{ "Chunks": 120, "Seed": 1 }`))
+	if err != nil {
+		t.Fatalf("matching fingerprint rejected: %v", err)
+	}
+	st.Close()
+
+	// Different fingerprint: refused with the sentinel error.
+	if _, err := OpenCampaign(dir, Options{}, []byte(`{"Seed":2,"Chunks":120}`)); !errors.Is(err, ErrCampaignMismatch) {
+		t.Fatalf("mismatched fingerprint: err = %v, want ErrCampaignMismatch", err)
+	}
+}
+
+func TestOpenCampaignNilFingerprintIsPlainOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenCampaign(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := os.Stat(filepath.Join(dir, CampaignMetaFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("nil fingerprint wrote %s: %v", CampaignMetaFile, err)
+	}
+}
+
+func TestOpenCampaignRejectsInvalidFingerprint(t *testing.T) {
+	if _, err := OpenCampaign(t.TempDir(), Options{}, []byte(`{broken`)); err == nil {
+		t.Fatal("invalid JSON fingerprint accepted")
+	}
+}
+
+func TestOpenCampaignReadOnlyNeverWrites(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(engine.SessionRow{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// A read-only campaign open of a store without a fingerprint must
+	// fail rather than create one.
+	if _, err := OpenCampaign(dir, Options{ReadOnly: true}, []byte(`{}`)); err == nil {
+		t.Fatal("read-only open of a fingerprint-less store accepted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, CampaignMetaFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("read-only open wrote %s", CampaignMetaFile)
+	}
+}

@@ -3,7 +3,9 @@ package store
 import (
 	"container/list"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"veritas/internal/engine"
@@ -34,7 +36,9 @@ func (o ServeOptions) cacheEntries() int {
 //	GET /v1/sessions[?scenario=]  list stored sessions (index only, no payload reads)
 //	GET /v1/sessions/{id}         one session's full what-if results
 //	GET /v1/scenarios             scenario labels with session counts
-//	GET /v1/report[?scenario=]    aggregate report (same JSON as the in-RAM aggregator)
+//	GET /v1/report[?scenario=]    aggregate report (same JSON as the in-RAM aggregator);
+//	                              carries a store-generation ETag and honors
+//	                              If-None-Match with 304 Not Modified
 //
 // Hot sessions are served from a bounded LRU of decoded rows, and
 // aggregate reports are cached per scenario filter. The report cache is
@@ -142,15 +146,43 @@ func (h *handler) scenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": scens})
 }
 
+// reportETag derives the report's validator from the store generation:
+// the generation moves on every append (including same-key overwrites),
+// so an unchanged tag proves the aggregate is still current for any
+// scenario filter.
+func reportETag(gen uint64) string { return fmt.Sprintf("\"report-%d\"", gen) }
+
+// etagMatches implements the If-None-Match comparison for the strong
+// validators this handler emits: a wildcard or any listed tag equal to
+// the current one.
+func etagMatches(header, etag string) bool {
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		// Weak-comparison prefix: a cache may legitimately send back
+		// W/"..." for a tag it received strong.
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
 func (h *handler) report(w http.ResponseWriter, r *http.Request) {
 	scenario := r.URL.Query().Get("scenario")
 	// Cache first: a cached body at the current generation proves the
 	// scenario was valid when it was built and nothing changed since,
 	// so the hot path skips the O(sessions) validation scan entirely.
 	gen := h.s.Generation()
+	etag := reportETag(gen)
 	h.mu.Lock()
 	if c, ok := h.reports[scenario]; ok && c.gen == gen {
 		h.mu.Unlock()
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(c.body)
 		return
@@ -172,6 +204,15 @@ func (h *handler) report(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The tag is generation-keyed, so a match makes recomputing the
+	// aggregate pointless even when no body is cached — but it must
+	// come after scenario validation, or a conditional request could
+	// turn a 404 into a 304.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 
 	agg, err := h.s.AggregateScenario(scenario)
 	if err != nil {
@@ -186,6 +227,7 @@ func (h *handler) report(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	h.reports[scenario] = cachedReport{gen: gen, body: body}
 	h.mu.Unlock()
+	w.Header().Set("ETag", etag)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
 }

@@ -221,3 +221,105 @@ func hitsOf(t *testing.T, h http.Handler) (uint64, uint64) {
 	}
 	return hz.CacheHits, hz.CacheMisses
 }
+
+func TestServeReportETag(t *testing.T) {
+	h, _, _ := serveFixture(t)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/report: %d", rec.Code)
+	}
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("report response carries no ETag")
+	}
+
+	// A conditional request with the current tag is 304 with no body —
+	// on both the cached and (fresh handler) uncached paths.
+	for name, handler := range map[string]http.Handler{"cached": h} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+		req.Header.Set("If-None-Match", etag)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			t.Errorf("%s: conditional report = %d, want 304", name, rec.Code)
+		}
+		if rec.Body.Len() != 0 {
+			t.Errorf("%s: 304 carried a %d-byte body", name, rec.Body.Len())
+		}
+		if got := rec.Header().Get("ETag"); got != etag {
+			t.Errorf("%s: 304 ETag %q != %q", name, got, etag)
+		}
+	}
+
+	// A stale tag still gets the full report.
+	req = httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	req.Header.Set("If-None-Match", `"report-424242"`)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("stale conditional report = %d (%d bytes), want 200 with body", rec.Code, rec.Body.Len())
+	}
+}
+
+func TestServeReportETagColdPathAndInvalidScenario(t *testing.T) {
+	_, _, ro := serveFixture(t)
+	// Fresh handler: no cached report body yet, the 304 must still work.
+	cold := NewHandler(ro, ServeOptions{CacheEntries: 8})
+	req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	req.Header.Set("If-None-Match", "*")
+	rec := httptest.NewRecorder()
+	cold.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("cold conditional report = %d, want 304", rec.Code)
+	}
+	// A conditional request must not turn an unknown scenario into 304.
+	req = httptest.NewRequest(http.MethodGet, "/v1/report?scenario=dialup", nil)
+	req.Header.Set("If-None-Match", "*")
+	rec = httptest.NewRecorder()
+	cold.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("conditional unknown scenario = %d, want 404", rec.Code)
+	}
+}
+
+func TestServeReportETagMovesWithGeneration(t *testing.T) {
+	corpus, arms := fleetCorpus(t)
+	dir := t.TempDir()
+	st, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := engine.Run(context.Background(), engine.Config{Workers: 2, Samples: 1, Seed: 1, Sink: st}, corpus, arms); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(st, ServeOptions{CacheEntries: 8})
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	etag := rec.Header().Get("ETag")
+
+	// Overwrite one session: the generation bumps, the old tag goes
+	// stale, and the conditional request gets a fresh 200.
+	row, ok, err := st.Get(corpus[0].ID)
+	if err != nil || !ok {
+		t.Fatalf("get %s: %v %v", corpus[0].ID, ok, err)
+	}
+	if err := st.Append(row); err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/report", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-append conditional report = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("ETag"); got == etag {
+		t.Errorf("ETag %q did not move with the store generation", got)
+	}
+}

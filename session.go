@@ -1,17 +1,18 @@
 package veritas
 
+// The session layer: simulate one streaming session, invert its log
+// into a posterior over latent bandwidth, and answer counterfactual and
+// interventional queries about it. Batch work over corpora of sessions
+// lives in campaign.go.
+
 import (
-	"context"
 	"errors"
-	"net/http"
-	"time"
+	"math"
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
-	"veritas/internal/engine"
 	"veritas/internal/netem"
 	"veritas/internal/player"
-	"veritas/internal/store"
 	"veritas/internal/tcp"
 	"veritas/internal/trace"
 	"veritas/internal/video"
@@ -61,6 +62,11 @@ func GenerateTraceSet(cfg TraceConfig, n int) ([]*Trace, error) {
 
 // ConstantTrace returns a trace holding mbps forever.
 func ConstantTrace(mbps float64) *Trace { return trace.Constant(mbps) }
+
+// TraceRegimes returns the names of the synthetic bandwidth regimes the
+// trace generator knows ("fcc", "lte", "wifi"). Campaign scenarios (see
+// Scenarios) are these plus the square-wave process.
+func TraceRegimes() []string { return trace.Regimes() }
 
 // NewMPC returns the RobustMPC algorithm (the paper's deployed ABR).
 func NewMPC() ABR { return abr.NewMPC() }
@@ -273,135 +279,17 @@ func QoE(log *SessionLog, w QoEWeights) float64 { return player.QoE(log, w) }
 
 // PredictNextChunkTime is a convenience wrapper predicting the download
 // time of a chunk requested gapSecs after the last logged chunk ended,
-// on the same connection.
+// on the same connection. It returns NaN when the abduction carries no
+// session log or the log has no records: there is no "last chunk" to
+// anchor the prediction to.
 func PredictNextChunkTime(abd *Abduction, gapSecs, sizeBytes float64) float64 {
-	recs := abd.Log().Records
+	log := abd.Log()
+	if log == nil || len(log.Records) == 0 {
+		return math.NaN()
+	}
+	recs := log.Records
 	last := recs[len(recs)-1]
 	st := last.TCP
 	st.LastSendGap = gapSecs
 	return abd.PredictDownloadTime(last.End+gapSecs, st, sizeBytes)
-}
-
-// Fleet layer: batch causal queries over a corpus of sessions, answered
-// by the sharded worker-pool engine in internal/engine.
-type (
-	// FleetConfig sizes the engine: workers, shard size, posterior
-	// samples, seed, memoization.
-	FleetConfig = engine.Config
-	// FleetSpec is one corpus session (a GTBW trace to stream, or a
-	// pre-recorded log to invert).
-	FleetSpec = engine.SessionSpec
-	// FleetArm is one what-if setting of the query matrix.
-	FleetArm = engine.Arm
-	// FleetResult is a completed fleet run: per-session results in
-	// corpus order plus the streaming aggregator.
-	FleetResult = engine.Result
-	// FleetSessionResult is one session's outcomes.
-	FleetSessionResult = engine.SessionResult
-	// FleetCacheStats counts the engine's emission-memoization cache.
-	FleetCacheStats = engine.CacheStats
-	// CorpusConfig describes a scenario-diverse synthetic corpus.
-	CorpusConfig = engine.CorpusConfig
-)
-
-// RunFleet executes batch causal queries: every corpus session is
-// simulated (or taken from its log), inverted via Abduct, and replayed
-// under every arm, fanned out across the engine's worker pool. Results
-// are deterministic in the corpus and seeds, independent of the worker
-// count.
-func RunFleet(ctx context.Context, cfg FleetConfig, corpus []FleetSpec, arms []FleetArm) (*FleetResult, error) {
-	return engine.Run(ctx, cfg, corpus, arms)
-}
-
-// BuildCorpus materializes a scenario-diverse corpus (FCC-, LTE-,
-// WiFi-like and square-wave bandwidth regimes) as fleet session specs.
-func BuildCorpus(cfg CorpusConfig) ([]FleetSpec, error) { return engine.BuildCorpus(cfg) }
-
-// FleetMatrix returns the ABR × buffer-size what-if matrix for a
-// corpus, one arm per pair.
-func FleetMatrix(cfg CorpusConfig, abrs []string, buffers []float64) ([]FleetArm, error) {
-	return engine.BuildMatrix(cfg, abrs, buffers)
-}
-
-// FleetScenarios returns the corpus scenario names BuildCorpus accepts.
-func FleetScenarios() []string { return engine.Scenarios() }
-
-// FleetABRs returns the algorithm names FleetMatrix accepts.
-func FleetABRs() []string { return engine.ABRs() }
-
-// NewFleetArm builds a fleet arm from a WhatIf, defaulting video,
-// network and buffer the same way Counterfactual does.
-func NewFleetArm(name string, w WhatIf) (FleetArm, error) {
-	setting, err := w.setting()
-	if err != nil {
-		return FleetArm{}, err
-	}
-	return FleetArm{Name: name, Setting: setting}, nil
-}
-
-// Corpus store: persistent, bounded-memory result storage plus the
-// query-serving layer in internal/store.
-type (
-	// FleetStore is a segmented, append-only, checksummed store of
-	// per-session fleet results. It implements the engine's Sink, so
-	// assigning one to FleetConfig.Sink streams a campaign to disk as
-	// workers finish sessions.
-	FleetStore = store.Store
-	// FleetStoreOptions configures segment rotation and read-only mode.
-	FleetStoreOptions = store.Options
-	// FleetRow is the compact per-session record the store persists and
-	// the aggregator reduces over.
-	FleetRow = engine.SessionRow
-	// FleetArmOutcome is one session × arm cell of the what-if matrix.
-	FleetArmOutcome = engine.ArmOutcome
-	// FleetSink consumes completed session results in completion order.
-	FleetSink = engine.Sink
-	// FleetReport is the serializable aggregate report (what cmd/serve
-	// returns as JSON).
-	FleetReport = engine.Report
-)
-
-// OpenStore opens (or creates) a fleet result store directory,
-// recovering automatically from a torn tail segment left by a crashed
-// campaign.
-func OpenStore(dir string, opt FleetStoreOptions) (*FleetStore, error) {
-	return store.Open(dir, opt)
-}
-
-// MergeStores compacts one or more campaign stores into a fresh store
-// at dst: sessions are deduplicated by ID (later sources win) and
-// superseded records dropped.
-func MergeStores(dst string, srcs ...string) (int, error) {
-	return store.Merge(dst, store.Options{}, srcs...)
-}
-
-// NewStoreHandler returns the HTTP query API over an open store (list
-// sessions and scenarios, fetch per-session what-if results, aggregate
-// reports as JSON) with an in-process read cache of cacheEntries
-// decoded sessions (0 picks the default, negative disables).
-func NewStoreHandler(s *FleetStore, cacheEntries int) http.Handler {
-	return store.NewHandler(s, store.ServeOptions{CacheEntries: cacheEntries})
-}
-
-// ServeStore serves the query API over an open store on addr until ctx
-// is cancelled, then drains in-flight requests for up to five seconds.
-// It is the serving loop behind cmd/serve; cacheEntries sizes the read
-// cache as in NewStoreHandler. Request contexts deliberately do not
-// derive from ctx: cancelling ctx triggers the graceful shutdown, which
-// must be able to drain in-flight requests rather than abort them.
-func ServeStore(ctx context.Context, addr string, s *FleetStore, cacheEntries int) error {
-	srv := &http.Server{
-		Addr:    addr,
-		Handler: NewStoreHandler(s, cacheEntries),
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutdownCtx)
-	}
 }

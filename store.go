@@ -1,0 +1,58 @@
+package veritas
+
+// The persistence primitives under the campaign layer: direct access
+// to the segmented corpus store for callers that need more than
+// Campaign offers (compaction across campaigns, custom serving
+// stacks). Most code should go through NewCampaign with WithStore.
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"veritas/internal/store"
+)
+
+type (
+	// FleetStore is a segmented, append-only, checksummed store of
+	// per-session fleet results. It implements the engine's Sink, so
+	// a campaign streams to disk as workers finish sessions.
+	FleetStore = store.Store
+	// FleetStoreOptions configures segment rotation and read-only mode.
+	FleetStoreOptions = store.Options
+)
+
+// OpenStore opens (or creates) a fleet result store directory,
+// recovering automatically from a torn tail segment left by a crashed
+// campaign. Campaign-managed stores (WithStore) are opened for you;
+// OpenStore is the escape hatch for custom pipelines.
+func OpenStore(dir string, opt FleetStoreOptions) (*FleetStore, error) {
+	return store.Open(dir, opt)
+}
+
+// MergeStores compacts one or more campaign stores into a fresh store
+// at dst: sessions are deduplicated by ID (later sources win) and
+// superseded records dropped.
+func MergeStores(dst string, srcs ...string) (int, error) {
+	return store.Merge(dst, store.Options{}, srcs...)
+}
+
+// serveHTTP is the serving loop behind Campaign.Serve and the
+// deprecated ServeStore: listen on addr until ctx is cancelled, then
+// drain in-flight requests for up to five seconds. Request contexts
+// deliberately do not derive from ctx: cancelling ctx triggers the
+// graceful shutdown, which must be able to drain in-flight requests
+// rather than abort them.
+func serveHTTP(ctx context.Context, addr string, h http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

@@ -202,3 +202,14 @@ func TestPredictDownloadTimeFacade(t *testing.T) {
 		t.Errorf("prediction %v should be positive", got)
 	}
 }
+
+func TestPredictNextChunkTimeEmptyLog(t *testing.T) {
+	// An abduction built by hand (the struct's fields are exported)
+	// carries no session log; the prediction has no last chunk to
+	// anchor to and must answer NaN instead of panicking on
+	// Records[len-1].
+	got := PredictNextChunkTime(&Abduction{}, 1, 1e6)
+	if !math.IsNaN(got) {
+		t.Errorf("empty-log prediction = %v, want NaN", got)
+	}
+}
