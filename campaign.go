@@ -67,6 +67,12 @@ func Scenarios() []string { return engine.Scenarios() }
 // ABRs returns the algorithm names WithMatrix accepts.
 func ABRs() []string { return engine.ABRs() }
 
+// ShardSessions returns how many of total corpus sessions shard index
+// of count executes under WithShard's partition. It shares the
+// engine's partition predicate, so a reported shard size always
+// matches what a sharded campaign actually runs.
+func ShardSessions(total, index, count int) int { return engine.ShardSessions(total, index, count) }
+
 // NewArm builds a what-if arm from a WhatIf, defaulting video, network
 // and buffer the same way Counterfactual does. Use it with WithArms to
 // query settings outside the ABR × buffer matrix.
@@ -100,6 +106,8 @@ type campaignOptions struct {
 	workers        int
 	samples        int
 	seed           int64
+	shardIndex     int
+	shardCount     int // 0 = unsharded
 	disableCache   bool
 	keepAbductions bool
 	onResult       func(FleetSessionResult)
@@ -273,6 +281,34 @@ func WithSamples(k int) CampaignOption {
 			return fmt.Errorf("veritas: samples %d must be positive (the paper uses 5)", k)
 		}
 		o.samples = k
+		return nil
+	}
+}
+
+// WithShard restricts execution to shard index of count: only corpus
+// sessions whose index i satisfies i mod count == index are run. This
+// is the multi-process dispatch primitive — n processes, each built
+// with WithShard(i, n) and its own WithStore directory, together
+// compute exactly the sessions one unsharded process would, because
+// the partition is by corpus index and every session keeps the index
+// (hence the derived seed) it has in the unsharded run. Fold the
+// per-shard stores back into one corpus with FoldShards; the folded
+// report is byte-identical to the single-process report.
+//
+// Sharding partitions execution, not results: the campaign fingerprint
+// (campaign.json) is the same for every shard, while each shard store
+// additionally records its slice in shard.json, and a writable open
+// under a different shard assignment is refused.
+func WithShard(index, count int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if count < 1 {
+			return fmt.Errorf("veritas: shard count %d must be at least 1", count)
+		}
+		if index < 0 || index >= count {
+			return fmt.Errorf("veritas: shard index %d out of range [0, %d)", index, count)
+		}
+		o.shardIndex = index
+		o.shardCount = count
 		return nil
 	}
 }
@@ -514,6 +550,12 @@ type campaignFingerprint struct {
 // then cannot prove two runs equal and store coherence is the caller's
 // to manage.
 //
+// Sharding (WithShard) is deliberately absent from the fingerprint:
+// it partitions which sessions a process executes, never what any
+// session computes, so every shard of a campaign — and the folded
+// whole — carries the same campaign.json. The shard assignment itself
+// lives in shard.json (see checkShardMeta).
+//
 // The first form is written into fresh stores and is byte-compatible
 // with what pre-Campaign binaries wrote: the scenario list exactly as
 // given, null when defaulted. Because an explicit list naming every
@@ -622,8 +664,47 @@ func (c *Campaign) ensureStoreLocked() (*FleetStore, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !c.opt.readOnly {
+		if err := c.checkShardMeta(st); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	c.st = st
 	return st, nil
+}
+
+// checkShardMeta enforces the shard discipline on a writable store:
+// a sharded campaign stamps (or verifies) shard.json, and any open
+// under a different shard assignment — including an unsharded open of
+// a shard store — is refused, because it would mix differently
+// partitioned runs in one directory. Read-only opens skip the check:
+// inspecting or serving a single shard's store is legitimate.
+func (c *Campaign) checkShardMeta(st *store.Store) error {
+	have, ok, err := store.ReadShardMeta(st.Dir())
+	if err != nil {
+		return err
+	}
+	want := store.ShardMeta{Index: c.opt.shardIndex, Count: c.opt.shardCount}
+	sharded := c.opt.shardCount > 1
+	switch {
+	case ok && !sharded:
+		return fmt.Errorf("veritas: %s holds shard %d/%d of a campaign; reopen it with WithShard(%d, %d) or fold the shards with FoldShards",
+			st.Dir(), have.Index, have.Count, have.Index, have.Count)
+	case ok && (have != want):
+		return fmt.Errorf("veritas: %s holds shard %d/%d, not shard %d/%d; each shard needs its own store directory",
+			st.Dir(), have.Index, have.Count, want.Index, want.Count)
+	case !ok && sharded:
+		if st.Len() > 0 {
+			// Stamping an existing unsharded store would rebrand its
+			// full-campaign rows as one shard's and lock out the
+			// unsharded opens that wrote them.
+			return fmt.Errorf("veritas: %s already holds %d sessions from an unsharded campaign; a shard needs a fresh store directory",
+				st.Dir(), st.Len())
+		}
+		return store.WriteShardMeta(st.Dir(), want)
+	}
+	return nil
 }
 
 // engineConfig maps the execution options onto the engine.
@@ -632,6 +713,8 @@ func (c *Campaign) engineConfig() engine.Config {
 		Workers:        c.opt.workers,
 		Samples:        c.opt.samples,
 		Seed:           c.opt.seed,
+		ShardIndex:     c.opt.shardIndex,
+		ShardCount:     c.opt.shardCount,
 		DisableCache:   c.opt.disableCache,
 		KeepAbductions: c.opt.keepAbductions,
 		OnResult:       c.opt.onResult,

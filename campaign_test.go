@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -727,5 +728,64 @@ func TestDefaultingParity(t *testing.T) {
 	if res.Sessions[0].SettingA != sess.Metrics {
 		t.Errorf("campaign spec defaults diverge from RunSession defaults:\n%+v\n%+v",
 			res.Sessions[0].SettingA, sess.Metrics)
+	}
+}
+
+// countGoroutines samples the live goroutine count after nudging the
+// scheduler, so short-lived exiting goroutines settle first.
+func countGoroutines() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// TestCampaignResultsEarlyCancelNoGoroutineLeak is the leak contract
+// for the streaming path (which forces DiscardResults under the hood):
+// a consumer that reads a little and then cancels — without draining
+// or closing — must leave no engine workers, shard feeder, or joiner
+// goroutine behind once the cancellation propagates.
+func TestCampaignResultsEarlyCancelNoGoroutineLeak(t *testing.T) {
+	before := countGoroutines()
+	for i := 0; i < 3; i++ {
+		c, err := veritas.NewCampaign(quickOptions()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		stream := c.Results(ctx)
+		if !stream.Next() {
+			t.Fatalf("no first row: %v", stream.Err())
+		}
+		cancel() // early consumer cancel: no drain, no Close
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if countGoroutines() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked by abandoned result streams: %d before, %d after\n%s",
+				before, countGoroutines(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The explicit-Close path must settle identically.
+	c, err := veritas.NewCampaign(quickOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := c.Results(context.Background())
+	if !stream.Next() {
+		t.Fatalf("no first row: %v", stream.Err())
+	}
+	stream.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for countGoroutines() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by a Closed result stream: %d before, %d after",
+				before, countGoroutines())
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

@@ -15,6 +15,14 @@
 // flag maps onto one campaign option, and the campaign carries the
 // corpus, matrix, store fingerprinting, resume and reporting.
 //
+// With -shard i/n, the process executes only its slice of the corpus
+// (sessions whose corpus index is congruent to i mod n) into its own
+// store — the multi-machine dispatch primitive. Because the partition
+// is by corpus index, every session keeps the seed it has in the
+// unsharded run, so folding the n shard stores with -fold yields a
+// corpus whose aggregate report is byte-identical to a single-process
+// run of the same campaign.
+//
 // Usage:
 //
 //	fleet                                   # default campaign: 4 scenarios x 8 sessions, bba/bola x 5s/30s
@@ -23,6 +31,11 @@
 //	fleet -chunks 300 -samples 5 -seed 7    # paper-scale sessions
 //	fleet -store campaign.store             # persist results while running
 //	fleet -store campaign.store -resume     # pick up where a killed run stopped
+//
+//	# one machine per shard, then fold:
+//	fleet -shard 0/2 -store shard0.store    # machine A
+//	fleet -shard 1/2 -store shard1.store    # machine B
+//	fleet -fold shard0.store,shard1.store -store campaign.store
 //
 // Interrupting with Ctrl-C cancels the fleet promptly; with -store the
 // finished sessions survive the interrupt.
@@ -44,18 +57,20 @@ import (
 // options collects the parsed flags so the flag→campaign mapping is
 // testable apart from flag.Parse and os.Exit.
 type options struct {
-	workers   int
-	sessions  int
-	scenarios []string
-	chunks    int
-	samples   int
-	seed      int64
-	buffer    float64
-	abrs      []string
-	buffers   []float64
-	nocache   bool
-	storeDir  string
-	resume    bool
+	workers    int
+	sessions   int
+	scenarios  []string
+	chunks     int
+	samples    int
+	seed       int64
+	buffer     float64
+	abrs       []string
+	buffers    []float64
+	nocache    bool
+	storeDir   string
+	resume     bool
+	shardIndex int
+	shardCount int // 0 = unsharded (no -shard flag)
 }
 
 // campaignOptions maps the flags onto the Campaign API, one option per
@@ -84,7 +99,42 @@ func (o options) campaignOptions() []veritas.CampaignOption {
 	if o.nocache {
 		opts = append(opts, veritas.WithoutMemoization())
 	}
+	if o.shardCount > 0 {
+		opts = append(opts, veritas.WithShard(o.shardIndex, o.shardCount))
+	}
 	return opts
+}
+
+// parseShard parses a -shard value of the form "i/n" (e.g. "0/3").
+// Range validation lives in veritas.WithShard, not here.
+func parseShard(s string) (index, count int, err error) {
+	lhs, rhs, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard %q is not of the form i/n (e.g. 0/3)", s)
+	}
+	if index, err = strconv.Atoi(strings.TrimSpace(lhs)); err != nil {
+		return 0, 0, fmt.Errorf("shard index %q: %w", lhs, err)
+	}
+	if count, err = strconv.Atoi(strings.TrimSpace(rhs)); err != nil {
+		return 0, 0, fmt.Errorf("shard count %q: %w", rhs, err)
+	}
+	return index, count, nil
+}
+
+// fold runs the -fold path: compact per-shard stores into one corpus at
+// dst, then print the folded store's report.
+func fold(dst string, srcs []string) error {
+	n, err := veritas.FoldShards(dst, srcs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet: folded %d sessions from %d shard store(s) into %s\n", n, len(srcs), dst)
+	c, err := veritas.NewCampaign(veritas.WithStore(dst), veritas.WithReadOnlyStore())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.WriteReport(os.Stdout)
 }
 
 func main() {
@@ -102,7 +152,45 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-session completions to stderr")
 	flag.StringVar(&o.storeDir, "store", "", "persist per-session results to this store directory")
 	flag.BoolVar(&o.resume, "resume", false, "skip sessions already present in -store")
+	shard := flag.String("shard", "", "execute only shard i/n of the corpus (e.g. 0/3); requires -store for later folding")
+	foldSrcs := flag.String("fold", "", "comma-separated shard store directories to fold into -store (no campaign runs)")
 	flag.Parse()
+
+	if *foldSrcs != "" {
+		if o.storeDir == "" {
+			fatal(fmt.Errorf("-fold needs -store as the destination directory"))
+		}
+		// The fold is defined entirely by the shard stores (their
+		// campaign.json IS the campaign); any other flag would be
+		// silently ignored, which reads like it was honored. Refuse.
+		var stray []string
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name != "fold" && f.Name != "store" {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			fatal(fmt.Errorf("-fold takes only -store; the shard stores' campaign.json defines the campaign (drop %s)",
+				strings.Join(stray, ", ")))
+		}
+		if err := fold(o.storeDir, splitCSV(*foldSrcs)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *shard != "" {
+		idx, cnt, err := parseShard(*shard)
+		if err != nil {
+			fatal(fmt.Errorf("-shard: %w", err))
+		}
+		if o.storeDir == "" {
+			// A shard without a store would compute its slice, print a
+			// partial report indistinguishable from a whole-campaign
+			// one, and persist nothing to fold.
+			fatal(fmt.Errorf("-shard needs -store: a shard's results exist to be folded"))
+		}
+		o.shardIndex, o.shardCount = idx, cnt
+	}
 
 	o.scenarios = splitCSV(*scenarios)
 	o.abrs = splitCSV(*abrs)
@@ -151,8 +239,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "fleet: %d sessions x %d arms, %d posterior samples\n",
-		len(corpus), len(arms), o.samples)
+	if o.shardCount > 1 {
+		mine := veritas.ShardSessions(len(corpus), o.shardIndex, o.shardCount)
+		fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: %d of %d sessions x %d arms, %d posterior samples\n",
+			o.shardIndex, o.shardCount, mine, len(corpus), len(arms), o.samples)
+	} else {
+		fmt.Fprintf(os.Stderr, "fleet: %d sessions x %d arms, %d posterior samples\n",
+			len(corpus), len(arms), o.samples)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -15,10 +15,17 @@
 //	                              with a store-generation ETag; conditional
 //	                              requests answer 304 Not Modified
 //
+// The store may be a live campaign's, a single shard's (fleet -shard),
+// or a folded corpus (fleet -fold): a folded store serves the exact
+// report a single-process campaign would have produced — /v1/report
+// bodies are byte-identical — so the shard → fold → serve pipeline is
+// transparent to clients.
+//
 // Usage:
 //
 //	serve -store campaign.store                 # serve on :8077
 //	serve -store campaign.store -addr :9000 -cache 1024
+//	serve -store folded.store                   # serve a fleet -fold corpus
 package main
 
 import (

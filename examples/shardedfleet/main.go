@@ -1,0 +1,122 @@
+// Shardedfleet: a campaign dispatched across shards, folded back into
+// one corpus, and proven byte-identical to the single-process run.
+//
+// A sharded campaign splits the session grid by corpus index: shard i
+// of n runs only the sessions with index ≡ i (mod n) into its own
+// store. Because the partition preserves corpus indices — and every
+// per-session seed derives from the index — the shards compute exactly
+// the rows the unsharded campaign would, so folding the shard stores
+// yields a corpus whose aggregate report matches the single-process
+// report byte for byte.
+//
+// This example runs the three "machines" as sequential processes in
+// one binary; in production each shard is its own `fleet -shard i/n
+// -store dir` invocation on its own machine (see EXPERIMENTS.md).
+//
+//	go run ./examples/shardedfleet
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"veritas"
+)
+
+const shards = 3
+
+// campaignOptions is the shared campaign definition: every shard (and
+// the single-process reference) must be built from the same options,
+// or the stores would refuse to fold.
+func campaignOptions() []veritas.CampaignOption {
+	return []veritas.CampaignOption{
+		veritas.WithScenarios("fcc", "lte"),
+		veritas.WithSessions(2),
+		veritas.WithChunks(30),
+		veritas.WithSamples(2),
+		veritas.WithSeed(7),
+		veritas.WithMatrix([]string{"bba"}, []float64{5}),
+	}
+}
+
+func main() {
+	work, err := os.MkdirTemp("", "shardedfleet-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+	ctx := context.Background()
+
+	// The single-process reference run (no store needed: the in-RAM
+	// aggregate is what a store-backed report reproduces).
+	ref, err := veritas.NewCampaign(campaignOptions()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ref.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	refReport, err := ref.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	refJSON, err := json.Marshal(refReport)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "fleet": one campaign per shard, each appending to its own
+	// store directory.
+	shardDirs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		shardDirs[i] = filepath.Join(work, fmt.Sprintf("shard%d.store", i))
+		c, err := veritas.NewCampaign(append(campaignOptions(),
+			veritas.WithShard(i, shards),
+			veritas.WithStore(shardDirs[i]),
+		)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %d/%d ran %d sessions into %s\n", i, shards, res.Executed, shardDirs[i])
+		if err := c.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Fold the shard stores into one corpus. FoldShards orders sources
+	// by recorded shard index, so any listing order works.
+	folded := filepath.Join(work, "campaign.store")
+	n, err := veritas.FoldShards(folded, shardDirs[2], shardDirs[0], shardDirs[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("folded %d sessions into %s\n", n, folded)
+
+	// The folded corpus reports exactly what the unsharded run did.
+	fc, err := veritas.NewCampaign(veritas.WithStore(folded), veritas.WithReadOnlyStore())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fc.Close()
+	foldedReport, err := fc.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	foldedJSON, err := json.Marshal(foldedReport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, foldedJSON) {
+		log.Fatal("folded report differs from the single-process report")
+	}
+	fmt.Printf("folded report is byte-identical to the single-process report (%d bytes)\n", len(foldedJSON))
+}

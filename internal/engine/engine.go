@@ -80,6 +80,16 @@ type Config struct {
 	// therefore their derived abduction seed — so a resumed campaign
 	// computes exactly what an uninterrupted one would have.
 	Skip map[string]bool
+	// ShardIndex/ShardCount partition the corpus for multi-process
+	// dispatch: with ShardCount n > 1, only sessions whose corpus index
+	// i satisfies i mod n == ShardIndex are executed. The partition is
+	// by corpus index, so every session keeps the index — and therefore
+	// the derived abduction seed — it has in the unsharded run: n
+	// shards' results folded back together are byte-identical to one
+	// process computing the whole corpus. ShardCount 0 (or 1) means no
+	// sharding.
+	ShardIndex int
+	ShardCount int
 	// DiscardResults leaves Result.Sessions empty: completed sessions
 	// flow only through Sink/OnResult and the aggregator. This is what
 	// bounds a streaming consumer's memory — nothing per-session is
@@ -99,6 +109,29 @@ func (c Config) samples() int {
 		return c.Samples
 	}
 	return 5
+}
+
+// inShard reports whether corpus index i belongs to this config's
+// shard of the partition (always true when unsharded).
+func (c Config) inShard(i int) bool {
+	return c.ShardCount <= 1 || i%c.ShardCount == c.ShardIndex
+}
+
+// ShardSessions returns how many corpus indices in [0, total) belong
+// to shard index of count — the session count a shard executes before
+// any resume skips. It is computed with the same predicate Run
+// partitions by, so callers reporting shard sizes can never diverge
+// from what actually executes. (Unrelated to Config.ShardSize, which
+// batches sessions into worker work units.)
+func ShardSessions(total, index, count int) int {
+	cfg := Config{ShardIndex: index, ShardCount: count}
+	n := 0
+	for i := 0; i < total; i++ {
+		if cfg.inShard(i) {
+			n++
+		}
+	}
+	return n
 }
 
 func (c Config) shardSize(n, workers int) int {
@@ -193,7 +226,7 @@ type SessionResult struct {
 
 // Result is a completed fleet run.
 type Result struct {
-	Sessions []SessionResult // in corpus order; zero entries for skipped sessions
+	Sessions []SessionResult // in corpus order; zero entries for skipped or out-of-shard sessions
 	Agg      *Aggregator
 	Cache    CacheStats
 	// Powers counts shared transition-power cache traffic during the
@@ -204,7 +237,7 @@ type Result struct {
 	// overlap in one process.
 	Powers CacheStats
 	// Executed is the number of sessions actually run (corpus size
-	// minus the resume skip set).
+	// minus the resume skip set and any out-of-shard sessions).
 	Executed int
 	Workers  int
 	Elapsed  time.Duration
@@ -227,6 +260,12 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 	if len(corpus) == 0 {
 		return nil, errors.New("engine: empty corpus")
 	}
+	if cfg.ShardCount < 0 {
+		return nil, fmt.Errorf("engine: shard count %d is negative", cfg.ShardCount)
+	}
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, fmt.Errorf("engine: shard index %d out of range [0, %d)", cfg.ShardIndex, cfg.ShardCount)
+	}
 	for i, spec := range corpus {
 		if spec.Trace == nil && spec.Log == nil {
 			return nil, fmt.Errorf("engine: session %d has neither Trace nor Log", i)
@@ -244,13 +283,10 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 	start := time.Now()
 	workers := cfg.workers()
 	shardSize := cfg.shardSize(len(corpus), workers)
-	executed := len(corpus)
-	if len(cfg.Skip) > 0 {
-		executed = 0
-		for i, spec := range corpus {
-			if !cfg.Skip[specID(spec, i)] {
-				executed++
-			}
+	executed := 0
+	for i, spec := range corpus {
+		if cfg.inShard(i) && !cfg.Skip[specID(spec, i)] {
+			executed++
 		}
 	}
 	powHits0, powMisses0 := mathx.SharedPowerStats()
@@ -301,7 +337,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 					if runCtx.Err() != nil {
 						return
 					}
-					if cfg.Skip[specID(corpus[i], i)] {
+					if !cfg.inShard(i) || cfg.Skip[specID(corpus[i], i)] {
 						continue
 					}
 					res, err := runOne(cfg, corpus[i], arms, i)

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -484,5 +486,87 @@ func TestDiscardResults(t *testing.T) {
 	}
 	if res.Cache.Lookups() == 0 {
 		t.Error("cache stats lost with DiscardResults")
+	}
+}
+
+// TestShardPartitionEquivalence is the multi-process dispatch contract:
+// n shard runs together execute every corpus session exactly once, and
+// each in-shard session's row is byte-identical to the unsharded run's
+// — the partition is by corpus index, so seeds never move.
+func TestShardPartitionEquivalence(t *testing.T) {
+	corpus := testCorpus(t, 2) // 8 sessions
+	arms := testArms(30)[:1]
+	full, err := Run(context.Background(), Config{Workers: 2, Samples: 2, Seed: 1}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	seen := make(map[string]int)
+	total := 0
+	for shard := 0; shard < n; shard++ {
+		res, err := Run(context.Background(),
+			Config{Workers: 2, Samples: 2, Seed: 1, ShardIndex: shard, ShardCount: n}, corpus, arms)
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		total += res.Executed
+		for idx, s := range res.Sessions {
+			if idx%n != shard {
+				if s.ID != "" {
+					t.Errorf("shard %d executed out-of-shard session %d (%s)", shard, idx, s.ID)
+				}
+				continue
+			}
+			if s.ID == "" {
+				t.Errorf("shard %d skipped in-shard session %d", shard, idx)
+				continue
+			}
+			seen[s.ID]++
+			want, err := json.Marshal(full.Sessions[idx].Row())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(s.Row())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("shard %d session %d row differs from the unsharded run\nwant: %s\ngot:  %s",
+					shard, idx, want, got)
+			}
+		}
+	}
+	if total != len(corpus) {
+		t.Errorf("shards executed %d sessions in total, want %d", total, len(corpus))
+	}
+	if len(seen) != len(corpus) {
+		t.Errorf("shards covered %d distinct sessions, want %d", len(seen), len(corpus))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("session %s executed by %d shards", id, c)
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	for _, cfg := range []Config{
+		{ShardCount: -1},
+		{ShardCount: 3, ShardIndex: 3},
+		{ShardCount: 3, ShardIndex: -1},
+	} {
+		if _, err := Run(context.Background(), cfg, corpus, nil); err == nil {
+			t.Errorf("Config{ShardIndex: %d, ShardCount: %d} accepted", cfg.ShardIndex, cfg.ShardCount)
+		}
+	}
+	// ShardCount 1 is the whole corpus.
+	res, err := Run(context.Background(), Config{Workers: 2, Samples: 1, Seed: 1, ShardCount: 1}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != len(corpus) {
+		t.Errorf("ShardCount=1 executed %d sessions, want %d", res.Executed, len(corpus))
 	}
 }

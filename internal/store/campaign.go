@@ -54,11 +54,7 @@ func checkFingerprint(dir string, want []byte, readOnly bool) error {
 		if readOnly {
 			return fmt.Errorf("store: %s carries no %s to verify against (not a campaign store?)", dir, CampaignMetaFile)
 		}
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, want, 0o644); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := writeFileAtomic(path, want); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 		return nil

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shardStore creates a store carrying shard metadata and the given
+// rows, closed and ready to fold.
+func shardStore(t *testing.T, meta ShardMeta, rows []int, scenario string) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range rows {
+		if err := s.Append(testRow(i, scenario)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShardMeta(dir, meta); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestFoldOrdersByShardIndex pins the determinism fix for duplicate
+// keys across shards: last-write-wins resolves by recorded shard
+// index, not by the order the caller happened to list the
+// directories, so every enumeration order folds byte-identically.
+func TestFoldOrdersByShardIndex(t *testing.T) {
+	// Both shards hold fcc-002; shard 1 computed a different outcome.
+	dir0 := shardStore(t, ShardMeta{Index: 0, Count: 2}, []int{0, 1, 2}, "fcc")
+	dir1 := t.TempDir()
+	s, err := Create(dir1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := testRow(2, "fcc")
+	dup.SettingA.AvgSSIM = 0.5
+	for _, row := range []int{3, 4} {
+		if err := s.Append(testRow(row, "fcc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(dup); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := WriteShardMeta(dir1, ShardMeta{Index: 1, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	fold := func(srcs ...string) (string, []byte) {
+		t.Helper()
+		dst := filepath.Join(t.TempDir(), "folded")
+		n, err := Fold(dst, Options{}, srcs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("Fold kept %d sessions, want 5", n)
+		}
+		ro, err := Open(dst, Options{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ro.Close()
+		got, ok, err := ro.Get("fcc-002")
+		if err != nil || !ok {
+			t.Fatalf("folded store lost fcc-002: ok=%v err=%v", ok, err)
+		}
+		if got.SettingA.AvgSSIM != 0.5 {
+			t.Errorf("duplicate key resolved to shard 0's record (SSIM %v), want shard 1's", got.SettingA.AvgSSIM)
+		}
+		agg, err := ro.Aggregate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := json.Marshal(agg.Report())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dst, rep
+	}
+
+	_, repA := fold(dir0, dir1)
+	_, repB := fold(dir1, dir0) // reversed listing: same fold
+	if !bytes.Equal(repA, repB) {
+		t.Fatalf("fold order changed the folded report\nA: %s\nB: %s", repA, repB)
+	}
+}
+
+func TestFoldRefusesDuplicateShards(t *testing.T) {
+	dirA := shardStore(t, ShardMeta{Index: 0, Count: 2}, []int{0}, "fcc")
+	dirB := shardStore(t, ShardMeta{Index: 0, Count: 2}, []int{1}, "fcc")
+	if _, err := Fold(filepath.Join(t.TempDir(), "out"), Options{}, dirA, dirB); err == nil ||
+		!strings.Contains(err.Error(), "both claim shard") {
+		t.Errorf("duplicate shard indices folded: err = %v", err)
+	}
+	dirC := shardStore(t, ShardMeta{Index: 1, Count: 3}, []int{2}, "fcc")
+	if _, err := Fold(filepath.Join(t.TempDir(), "out"), Options{}, dirA, dirC); err == nil ||
+		!strings.Contains(err.Error(), "disagree on shard count") {
+		t.Errorf("mismatched shard counts folded: err = %v", err)
+	}
+}
+
+// TestFoldRefusesMixedSources: one metadata-less source must not
+// silently disable the shard validation for every other source.
+func TestFoldRefusesMixedSources(t *testing.T) {
+	dir0 := shardStore(t, ShardMeta{Index: 0, Count: 2}, []int{0}, "fcc")
+	dir1 := shardStore(t, ShardMeta{Index: 1, Count: 2}, []int{1}, "fcc")
+	plain := t.TempDir()
+	s, err := Create(plain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRow(2, "fcc")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Fold(filepath.Join(t.TempDir(), "out"), Options{}, dir0, dir1, plain); err == nil ||
+		!strings.Contains(err.Error(), "mixes shard stores") {
+		t.Errorf("mixed shard and plain sources folded: err = %v", err)
+	}
+}
+
+// TestFoldRefusesMissingShard: folding 2 of 3 shards must fail loudly
+// — a partial fold under the full campaign fingerprint would serve an
+// incomplete corpus as if it were the whole campaign.
+func TestFoldRefusesMissingShard(t *testing.T) {
+	dir0 := shardStore(t, ShardMeta{Index: 0, Count: 3}, []int{0}, "fcc")
+	dir2 := shardStore(t, ShardMeta{Index: 2, Count: 3}, []int{2}, "fcc")
+	if _, err := Fold(filepath.Join(t.TempDir(), "out"), Options{}, dir0, dir2); err == nil ||
+		!strings.Contains(err.Error(), "missing shard(s) [1]") {
+		t.Errorf("incomplete shard set folded: err = %v", err)
+	}
+}
+
+// TestFoldPropagatesCampaignFingerprint: the folded store carries the
+// shards' campaign.json (so it opens as the whole campaign), never
+// their shard.json, and conflicting fingerprints refuse to fold.
+func TestFoldPropagatesCampaignFingerprint(t *testing.T) {
+	fp := []byte(`{"Seed": 7}`)
+	dirs := make([]string, 2)
+	for i := range dirs {
+		dirs[i] = shardStore(t, ShardMeta{Index: i, Count: 2}, []int{i}, "fcc")
+		if err := os.WriteFile(filepath.Join(dirs[i], CampaignMetaFile), fp, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := filepath.Join(t.TempDir(), "folded")
+	if _, err := Fold(dst, Options{}, dirs...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, CampaignMetaFile))
+	if err != nil || !bytes.Equal(got, fp) {
+		t.Errorf("folded campaign.json = %q, %v; want the shards' fingerprint", got, err)
+	}
+	if _, ok, _ := ReadShardMeta(dst); ok {
+		t.Error("folded store still carries shard.json")
+	}
+	// The folded store must open under the same fingerprint.
+	s, err := OpenCampaign(dst, Options{}, fp)
+	if err != nil {
+		t.Fatalf("folded store refused its own fingerprint: %v", err)
+	}
+	s.Close()
+
+	// Conflicting fingerprints refuse to fold.
+	if err := os.WriteFile(filepath.Join(dirs[1], CampaignMetaFile), []byte(`{"Seed": 8}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fold(filepath.Join(t.TempDir(), "bad"), Options{}, dirs...); err == nil {
+		t.Error("conflicting campaign fingerprints folded silently")
+	}
+}
+
+func TestFoldWithoutShardMetaKeepsCallerOrder(t *testing.T) {
+	// Pre-shard stores: no shard.json anywhere, so Fold degrades to
+	// Merge semantics — the later-listed source wins.
+	mk := func(ssim float64) string {
+		dir := t.TempDir()
+		s, err := Create(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := testRow(0, "fcc")
+		row.SettingA.AvgSSIM = ssim
+		if err := s.Append(row); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		return dir
+	}
+	dirA, dirB := mk(0.1), mk(0.2)
+	dst := filepath.Join(t.TempDir(), "folded")
+	if _, err := Fold(dst, Options{}, dirA, dirB); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(dst, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	got, _, err := ro.Get("fcc-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SettingA.AvgSSIM != 0.2 {
+		t.Errorf("caller-order fold kept SSIM %v, want the later source's 0.2", got.SettingA.AvgSSIM)
+	}
+}
+
+func TestShardMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadShardMeta(dir); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if err := WriteShardMeta(dir, ShardMeta{Index: 3, Count: 1}); err == nil {
+		t.Error("invalid shard meta accepted")
+	}
+	want := ShardMeta{Index: 2, Count: 5}
+	if err := WriteShardMeta(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadShardMeta(dir)
+	if err != nil || !ok || got != want {
+		t.Fatalf("ReadShardMeta = %+v, %v, %v; want %+v", got, ok, err, want)
+	}
+	// An impossible on-disk assignment (hand-edited or corrupt) must
+	// read as an error, not slip past Fold's completeness accounting.
+	if err := os.WriteFile(filepath.Join(dir, ShardMetaFile), []byte(`{"Index":5,"Count":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadShardMeta(dir); err == nil || !strings.Contains(err.Error(), "impossible shard") {
+		t.Errorf("impossible shard.json read back: err = %v", err)
+	}
+}
+
+// TestFoldRefusesImpossibleShardMeta: a source whose shard.json claims
+// an out-of-range index must fail the fold loudly — counting it toward
+// completeness would let a real shard go silently missing.
+func TestFoldRefusesImpossibleShardMeta(t *testing.T) {
+	dir0 := shardStore(t, ShardMeta{Index: 0, Count: 2}, []int{0}, "fcc")
+	dirBad := shardStore(t, ShardMeta{Index: 1, Count: 2}, []int{1}, "fcc")
+	if err := os.WriteFile(filepath.Join(dirBad, ShardMetaFile), []byte(`{"Index":5,"Count":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fold(filepath.Join(t.TempDir(), "out"), Options{}, dir0, dirBad); err == nil ||
+		!strings.Contains(err.Error(), "impossible shard") {
+		t.Errorf("fold accepted an impossible shard.json: err = %v", err)
+	}
+}

@@ -28,6 +28,12 @@
 // per record — tens of bytes — never payloads, so a store of millions
 // of sessions serves point lookups in O(log n) by binary search over
 // the sorted key index while the rows stay on disk.
+//
+// Reopen cost. Sealed segments carry sidecar indexes (see sidecar.go)
+// so Open rebuilds the resident index in O(segments) instead of
+// re-reading every frame; a missing, stale or corrupt sidecar falls
+// back to the full scan of that segment, so pre-sidecar stores open
+// unchanged.
 package store
 
 import (
@@ -98,20 +104,37 @@ type Store struct {
 	dir string
 	opt Options
 
-	mu        sync.Mutex
-	entries   []entry // sorted by key, deduplicated: latest record wins
-	staged    []entry // appended since the last index merge, in append order
-	readers   map[int]*os.File
-	active    *os.File
-	lock      *os.File // writer lock on dir/LOCK, nil when read-only
-	activeNum int
-	activeLen int64
-	recovered int64
-	gen       uint64 // bumped on every append, including same-key overwrites
-	closed    bool
+	mu            sync.Mutex
+	entries       []entry // sorted by key, deduplicated: latest record wins
+	staged        []entry // appended since the last index merge, in append order
+	readers       map[int]*os.File
+	active        *os.File
+	lock          *os.File // writer lock on dir/LOCK, nil when read-only
+	activeNum     int
+	activeLen     int64
+	activeEntries []entry // the active segment's frames, in append order
+	recovered     int64
+	gen           uint64 // bumped on every append, including same-key overwrites
+	sidecarLoads  int    // segments whose index came from a sidecar at Open
+	sidecarScans  int    // segments that needed a full frame scan at Open
+	closed        bool
 }
 
 func segName(n int) string { return fmt.Sprintf("%s%05d%s", segPrefix, n, segSuffix) }
+
+// parseFrameHeader decodes one frame header, reporting ok=false for
+// implausible lengths. Every reader of the frame format — the recovery
+// scan, point reads, and the sidecar spot-check — parses through here,
+// so a format change cannot leave them disagreeing.
+func parseFrameHeader(hdr []byte) (keyLen, payloadLen int, sum uint32, ok bool) {
+	k := binary.LittleEndian.Uint32(hdr[0:4])
+	p := binary.LittleEndian.Uint32(hdr[4:8])
+	sum = binary.LittleEndian.Uint32(hdr[8:12])
+	if k == 0 || k > maxKeyLen || p > maxPayloadLen {
+		return 0, 0, 0, false
+	}
+	return int(k), int(p), sum, true
+}
 
 // Open opens (or, unless ReadOnly, creates) a store directory,
 // recovering from a torn tail segment if a previous writer crashed.
@@ -153,9 +176,18 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %s holds no segments", dir)
 	}
 	byKey := make(map[string]entry)
+	var lastEntries []entry
 	for i, num := range nums {
-		if err := s.scanSegment(num, i == len(nums)-1, byKey); err != nil {
+		last := i == len(nums)-1
+		segEntries, err := s.loadSegment(num, last)
+		if err != nil {
 			return nil, err
+		}
+		for _, e := range segEntries { // frame order: later frames win
+			byKey[e.key] = e
+		}
+		if last {
+			lastEntries = segEntries
 		}
 	}
 	s.entries = make([]entry, 0, len(byKey))
@@ -169,12 +201,52 @@ func Open(dir string, opt Options) (*Store, error) {
 			if err := s.newSegment(0); err != nil {
 				return nil, err
 			}
-		} else if err := s.openActive(nums[len(nums)-1]); err != nil {
-			return nil, err
+		} else {
+			if err := s.openActive(nums[len(nums)-1]); err != nil {
+				return nil, err
+			}
+			// The last segment becomes the active one; keep its frame
+			// list so Close (and the next rotation) can write a complete
+			// sidecar for it.
+			s.activeEntries = lastEntries
 		}
 	}
 	opened = true
 	return s, nil
+}
+
+// loadSegment rebuilds one segment's slice of the index: from its
+// sidecar when one verifies, by a full frame scan otherwise. A sealed
+// segment that needed a scan gets its sidecar re-written (healed) so
+// the next Open is O(segments) again.
+func (s *Store) loadSegment(num int, last bool) ([]entry, error) {
+	if entries, ok := s.tryLoadSidecar(num); ok {
+		s.sidecarLoads++
+		return entries, nil
+	}
+	entries, err := s.scanSegment(num, last)
+	if err != nil {
+		return nil, err
+	}
+	s.sidecarScans++
+	if !s.opt.ReadOnly && !last {
+		// Best-effort: a failed heal just means another scan next time.
+		size := int64(len(segMagic))
+		if fi, err := os.Stat(filepath.Join(s.dir, segName(num))); err == nil {
+			size = fi.Size()
+		}
+		_ = s.writeSidecar(num, size, entries)
+	}
+	return entries, nil
+}
+
+// SidecarStats reports how Open rebuilt the resident index: segments
+// restored from sidecar indexes versus segments that needed a full
+// frame scan (no sidecar, a stale or corrupt one, or a torn tail).
+func (s *Store) SidecarStats() (fromSidecar, scanned int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sidecarLoads, s.sidecarScans
 }
 
 // Create opens a fresh store, failing if dir already holds segments.
@@ -210,24 +282,25 @@ func (s *Store) segmentNumbers() ([]int, error) {
 	return nums, nil
 }
 
-// scanSegment walks one segment, folding every intact record into
-// byKey. A torn tail is recovered (truncated, unless read-only) when
-// the segment is the last one, and fatal otherwise.
-func (s *Store) scanSegment(num int, last bool, byKey map[string]entry) error {
+// scanSegment walks one segment's frames, returning every intact record
+// in frame order. A torn tail is recovered (truncated, unless
+// read-only) when the segment is the last one, and fatal otherwise.
+func (s *Store) scanSegment(num int, last bool) ([]entry, error) {
 	path := filepath.Join(s.dir, segName(num))
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
 	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 
+	var entries []entry
 	good := int64(0)
 	torn := false
 	magic := make([]byte, len(segMagic))
@@ -242,14 +315,12 @@ func (s *Store) scanSegment(num int, last bool, byKey map[string]entry) error {
 				torn = true
 				break
 			}
-			keyLen := binary.LittleEndian.Uint32(hdr[0:4])
-			payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
-			sum := binary.LittleEndian.Uint32(hdr[8:12])
-			if keyLen == 0 || keyLen > maxKeyLen || payloadLen > maxPayloadLen {
+			keyLen, payloadLen, sum, ok := parseFrameHeader(hdr)
+			if !ok {
 				torn = true
 				break
 			}
-			n := int(keyLen) + int(payloadLen)
+			n := keyLen + payloadLen
 			if cap(buf) < n {
 				buf = make([]byte, n)
 			}
@@ -264,23 +335,23 @@ func (s *Store) scanSegment(num int, last bool, byKey map[string]entry) error {
 			}
 			key := string(buf[:keyLen])
 			scen, idx := peekRow(buf[keyLen:])
-			byKey[key] = entry{key: key, scenario: scen, index: idx, seg: num, off: good}
+			entries = append(entries, entry{key: key, scenario: scen, index: idx, seg: num, off: good})
 			good += frameHdrLen + int64(n)
 		}
 	}
 	if !torn {
-		return nil
+		return entries, nil
 	}
 	if !last {
-		return fmt.Errorf("store: %s: corrupt frame at offset %d (%d bytes follow); only the newest segment may be torn",
+		return nil, fmt.Errorf("store: %s: corrupt frame at offset %d (%d bytes follow); only the newest segment may be torn",
 			path, good, size-good)
 	}
 	s.recovered += size - good
 	if s.opt.ReadOnly {
-		return nil
+		return entries, nil
 	}
 	if err := os.Truncate(path, good); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	if good < int64(len(segMagic)) {
 		// The crash landed before the magic header itself was durable.
@@ -289,17 +360,17 @@ func (s *Store) scanSegment(num int, last bool, byKey map[string]entry) error {
 		// Open.
 		w, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
 		if err != nil {
-			return fmt.Errorf("store: %w", err)
+			return nil, fmt.Errorf("store: %w", err)
 		}
 		defer w.Close()
 		if _, err := w.Write([]byte(segMagic)); err != nil {
-			return fmt.Errorf("store: %w", err)
+			return nil, fmt.Errorf("store: %w", err)
 		}
 		if err := w.Sync(); err != nil {
-			return fmt.Errorf("store: %w", err)
+			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return nil
+	return entries, nil
 }
 
 // peekRow extracts the index fields from a row payload without keeping
@@ -331,6 +402,7 @@ func (s *Store) newSegment(num int) error {
 	s.active = f
 	s.activeNum = num
 	s.activeLen = int64(len(segMagic))
+	s.activeEntries = nil
 	return nil
 }
 
@@ -386,6 +458,9 @@ func (s *Store) Append(row engine.SessionRow) error {
 		if err := s.active.Close(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
+		// Seal the segment with its sidecar so the next Open skips the
+		// frame scan. Best-effort: the frames are the source of truth.
+		_ = s.writeSidecar(s.activeNum, s.activeLen, s.activeEntries)
 		if err := s.newSegment(s.activeNum + 1); err != nil {
 			return err
 		}
@@ -396,10 +471,12 @@ func (s *Store) Append(row engine.SessionRow) error {
 	}
 	s.activeLen += int64(len(frame))
 	s.gen++
-	s.staged = append(s.staged, entry{
+	e := entry{
 		key: row.ID, scenario: row.Scenario, index: row.Index,
 		seg: s.activeNum, off: off,
-	})
+	}
+	s.staged = append(s.staged, e)
+	s.activeEntries = append(s.activeEntries, e)
 	return nil
 }
 
@@ -447,6 +524,10 @@ func (s *Store) Close() error {
 			first = err
 		}
 		s.active = nil
+		// A clean close seals the active segment too: with every
+		// segment carrying a current sidecar, the next Open rebuilds
+		// the whole index without scanning a single frame.
+		_ = s.writeSidecar(s.activeNum, s.activeLen, s.activeEntries)
 	}
 	for _, f := range s.readers {
 		if err := f.Close(); err != nil && first == nil {
@@ -456,6 +537,46 @@ func (s *Store) Close() error {
 	s.readers = nil
 	s.releaseLock()
 	return first
+}
+
+// writeFileAtomic writes data to path through a same-directory temp
+// file, fsync and rename, so a crash leaves either the old file or the
+// complete new one, never a torn mix. Shared by every metadata write
+// (campaign.json, shard.json, sidecars).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename itself lives in the directory entry: without a
+	// directory fsync a power loss can forget the installation even
+	// though the file's bytes were synced.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		// Best-effort: some filesystems refuse directory fsync; the
+		// rename is then only as durable as the mount makes it.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Dir returns the store's directory.
@@ -626,13 +747,11 @@ func (s *Store) readRow(e entry) (engine.SessionRow, error) {
 	if _, err := f.ReadAt(hdr, e.off); err != nil {
 		return row, fmt.Errorf("store: %s@%d: %w", segName(e.seg), e.off, err)
 	}
-	keyLen := binary.LittleEndian.Uint32(hdr[0:4])
-	payloadLen := binary.LittleEndian.Uint32(hdr[4:8])
-	sum := binary.LittleEndian.Uint32(hdr[8:12])
-	if keyLen == 0 || keyLen > maxKeyLen || payloadLen > maxPayloadLen {
+	keyLen, payloadLen, sum, ok := parseFrameHeader(hdr)
+	if !ok {
 		return row, fmt.Errorf("store: %s@%d: implausible frame header", segName(e.seg), e.off)
 	}
-	buf := make([]byte, int(keyLen)+int(payloadLen))
+	buf := make([]byte, keyLen+payloadLen)
 	if _, err := f.ReadAt(buf, e.off+frameHdrLen); err != nil {
 		return row, fmt.Errorf("store: %s@%d: %w", segName(e.seg), e.off, err)
 	}
@@ -687,11 +806,15 @@ func (s *Store) AggregateScenario(scenario string) (*engine.Aggregator, error) {
 }
 
 // Merge folds one or more source stores into a fresh store at dst — the
-// compaction pass. Sessions are deduplicated by ID (a later source wins
-// over an earlier one), superseded and torn records are dropped, and
-// the surviving records are written in sorted key order, one at a time,
-// so compaction memory is bounded by a single row. Returns the number
-// of sessions in the merged store.
+// compaction pass. Sessions are deduplicated by ID last-write-wins in
+// srcs order: when two sources hold the same key, the source listed
+// later wins, whatever order a directory walk produced the list in —
+// the caller's ordering IS the precedence, so equal srcs slices give
+// byte-identical merged stores. (Fold derives that ordering from shard
+// metadata; Merge itself never reorders.) Superseded and torn records
+// are dropped, and the surviving records are written in sorted key
+// order, one at a time, so compaction memory is bounded by a single
+// row. Returns the number of sessions in the merged store.
 func Merge(dst string, opt Options, srcs ...string) (int, error) {
 	if len(srcs) == 0 {
 		return 0, errors.New("store: Merge needs at least one source")

@@ -1,0 +1,287 @@
+package veritas_test
+
+// The sharded-dispatch equivalence suite: the same campaign computed
+// three ways — one process, three shard processes folded, and three
+// shards where one was killed mid-run and resumed — must produce
+// byte-identical engine.Report JSON and byte-identical /v1/report
+// bodies. This is the contract that makes multi-machine dispatch safe:
+// sharding and crashes change how the corpus is computed, never what.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veritas"
+)
+
+// reportJSON marshals a campaign's aggregate report.
+func reportJSON(t *testing.T, c *veritas.Campaign) []byte {
+	t.Helper()
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// v1Report fetches /v1/report from a campaign's HTTP handler.
+func v1Report(t *testing.T, c *veritas.Campaign) []byte {
+	t.Helper()
+	h, err := c.Handler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/report", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/v1/report: status %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes()
+}
+
+// runShard executes one shard of the quickOptions campaign into dir.
+func runShard(t *testing.T, ctx context.Context, shard, of int, dir string, extra ...veritas.CampaignOption) {
+	t.Helper()
+	opts := append(quickOptions(), veritas.WithShard(shard, of), veritas.WithStore(dir))
+	opts = append(opts, extra...)
+	c, err := veritas.NewCampaign(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Run(ctx); err != nil {
+		t.Fatalf("shard %d/%d: %v", shard, of, err)
+	}
+}
+
+// TestShardedCampaignEquivalence is the acceptance pin for sharded
+// dispatch: single-process, 3-shards-folded, and
+// 3-shards-with-a-mid-run-kill-then-resume all report byte-identically,
+// through Report() and through the serving layer.
+func TestShardedCampaignEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const shards = 3
+
+	// Way A: one process, one store.
+	dirA := filepath.Join(t.TempDir(), "single.store")
+	single, err := veritas.NewCampaign(append(quickOptions(), veritas.WithStore(dirA))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantReport := reportJSON(t, single)
+	wantBody := v1Report(t, single)
+
+	// Way B: three shard processes, each into its own store, folded.
+	dirsB := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		dirsB[i] = filepath.Join(t.TempDir(), fmt.Sprintf("shard%d.store", i))
+		runShard(t, ctx, i, shards, dirsB[i])
+	}
+	foldedB := filepath.Join(t.TempDir(), "foldedB.store")
+	// Scrambled listing order: FoldShards must order by shard index.
+	if _, err := veritas.FoldShards(foldedB, dirsB[2], dirsB[0], dirsB[1]); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := veritas.NewCampaign(veritas.WithStore(foldedB), veritas.WithReadOnlyStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	if got := reportJSON(t, cb); !bytes.Equal(wantReport, got) {
+		t.Fatalf("3-shard folded report differs from the single-process run\nwant: %s\ngot:  %s", wantReport, got)
+	}
+	if got := v1Report(t, cb); !bytes.Equal(wantBody, got) {
+		t.Fatalf("folded /v1/report body differs from the single-process store's")
+	}
+
+	// Way C: like B, but shard 0 is killed after its first completed
+	// session (context cancellation — the finished session is already
+	// durable in the shard store) and then resumed by a fresh process.
+	dirsC := make([]string, shards)
+	for i := range dirsC {
+		dirsC[i] = filepath.Join(t.TempDir(), fmt.Sprintf("shardC%d.store", i))
+	}
+	killCtx, kill := context.WithCancel(ctx)
+	killed, err := veritas.NewCampaign(append(quickOptions(),
+		veritas.WithWorkers(1),
+		veritas.WithShard(0, shards),
+		veritas.WithStore(dirsC[0]),
+		veritas.WithProgress(func(veritas.FleetSessionResult) { kill() }),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := killed.Run(killCtx); err == nil {
+		t.Fatal("killed shard run reported success")
+	}
+	st, err := killed.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	survived := st.Len()
+	if survived == 0 {
+		t.Fatal("mid-run kill persisted nothing; the test cannot exercise resume")
+	}
+	if err := killed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kill()
+
+	// Resume shard 0; the other shards run uninterrupted.
+	resumed, err := veritas.NewCampaign(append(quickOptions(),
+		veritas.WithShard(0, shards),
+		veritas.WithStore(dirsC[0]),
+		veritas.WithResume(),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed == 0 {
+		t.Error("resume recomputed nothing; expected the remainder of the shard")
+	}
+	corpus, err := resumed.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inShard := 0
+	for i := range corpus {
+		if i%shards == 0 {
+			inShard++
+		}
+	}
+	if res.Executed != inShard-survived {
+		t.Errorf("resumed shard executed %d sessions, want %d (shard of %d minus %d already stored)",
+			res.Executed, inShard-survived, inShard, survived)
+	}
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < shards; i++ {
+		runShard(t, ctx, i, shards, dirsC[i])
+	}
+	foldedC := filepath.Join(t.TempDir(), "foldedC.store")
+	if _, err := veritas.FoldShards(foldedC, dirsC[0], dirsC[1], dirsC[2]); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := veritas.NewCampaign(veritas.WithStore(foldedC), veritas.WithReadOnlyStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if got := reportJSON(t, cc); !bytes.Equal(wantReport, got) {
+		t.Fatalf("kill-and-resume folded report differs from the single-process run\nwant: %s\ngot:  %s", wantReport, got)
+	}
+	if got := v1Report(t, cc); !bytes.Equal(wantBody, got) {
+		t.Fatalf("kill-and-resume /v1/report body differs from the single-process store's")
+	}
+}
+
+func TestWithShardValidation(t *testing.T) {
+	for _, tc := range []struct {
+		index, count int
+		want         string
+	}{
+		{0, 0, "at least 1"},
+		{0, -1, "at least 1"},
+		{-1, 2, "out of range"},
+		{2, 2, "out of range"},
+	} {
+		_, err := veritas.NewCampaign(veritas.WithShard(tc.index, tc.count))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("WithShard(%d, %d): err = %v, want mention of %q", tc.index, tc.count, err, tc.want)
+		}
+	}
+	if _, err := veritas.NewCampaign(veritas.WithShard(0, 1)); err != nil {
+		t.Errorf("WithShard(0, 1) rejected: %v", err)
+	}
+}
+
+// TestShardStoreDiscipline: a shard's store refuses writable opens
+// under a different shard assignment — including an unsharded one —
+// while read-only opens (inspecting or serving one shard) are allowed.
+func TestShardStoreDiscipline(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "shard0.store")
+	runShard(t, ctx, 0, 3, dir)
+
+	for name, opts := range map[string][]veritas.CampaignOption{
+		"different shard": append(quickOptions(), veritas.WithShard(1, 3), veritas.WithStore(dir)),
+		"unsharded":       append(quickOptions(), veritas.WithStore(dir)),
+	} {
+		c, err := veritas.NewCampaign(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Store(); err == nil || !strings.Contains(err.Error(), "shard") {
+			t.Errorf("%s open of a shard store: err = %v, want a shard mismatch", name, err)
+		}
+		c.Close()
+	}
+
+	ro, err := veritas.NewCampaign(veritas.WithStore(dir), veritas.WithReadOnlyStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Store(); err != nil {
+		t.Errorf("read-only open of a shard store refused: %v", err)
+	}
+
+	// The converse: a non-empty unsharded store must not be rebranded
+	// as a shard's — its full-campaign rows are not one shard's slice.
+	unshardedDir := filepath.Join(t.TempDir(), "full.store")
+	full, err := veritas.NewCampaign(append(quickOptions(), veritas.WithStore(unshardedDir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	asShard, err := veritas.NewCampaign(append(quickOptions(),
+		veritas.WithShard(1, 3), veritas.WithStore(unshardedDir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asShard.Close()
+	if _, err := asShard.Store(); err == nil || !strings.Contains(err.Error(), "unsharded campaign") {
+		t.Errorf("sharded open rebranded a non-empty unsharded store: err = %v", err)
+	}
+}
+
+func TestShardSessions(t *testing.T) {
+	// 8 sessions over 3 shards: 3 + 3 + 2.
+	sizes := 0
+	for i, want := range []int{3, 3, 2} {
+		if got := veritas.ShardSessions(8, i, 3); got != want {
+			t.Errorf("ShardSessions(8, %d, 3) = %d, want %d", i, got, want)
+		}
+		sizes += veritas.ShardSessions(8, i, 3)
+	}
+	if sizes != 8 {
+		t.Errorf("shard sizes sum to %d, want the whole corpus", sizes)
+	}
+	if got := veritas.ShardSessions(8, 0, 1); got != 8 {
+		t.Errorf("ShardSessions(8, 0, 1) = %d, want 8 (unsharded)", got)
+	}
+}

@@ -31,10 +31,26 @@ func OpenStore(dir string, opt FleetStoreOptions) (*FleetStore, error) {
 }
 
 // MergeStores compacts one or more campaign stores into a fresh store
-// at dst: sessions are deduplicated by ID (later sources win) and
-// superseded records dropped.
+// at dst: sessions are deduplicated by ID last-write-wins in srcs
+// order (the source listed later wins) and superseded records dropped.
+// The caller's ordering is the precedence; to fold the per-shard
+// stores of a sharded campaign, use FoldShards, which orders by shard
+// index instead of trusting however the directories were enumerated.
 func MergeStores(dst string, srcs ...string) (int, error) {
 	return store.Merge(dst, store.Options{}, srcs...)
+}
+
+// FoldShards compacts the per-shard stores of a sharded campaign (see
+// WithShard) into one queryable corpus at dst. Sources carrying shard
+// metadata are ordered by shard index — so duplicate session keys
+// resolve last-write-wins by shard index, deterministically, however
+// the shard directories were listed — and the campaign fingerprint is
+// propagated into dst when the shards agree on it (conflicting
+// fingerprints refuse to fold). The folded store's aggregate report is
+// byte-identical to the report of a single unsharded run of the same
+// campaign.
+func FoldShards(dst string, srcs ...string) (int, error) {
+	return store.Fold(dst, store.Options{}, srcs...)
 }
 
 // serveHTTP is the serving loop behind Campaign.Serve and the
