@@ -27,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"veritas/internal/engine"
 	"veritas/internal/store"
@@ -111,6 +112,7 @@ type campaignOptions struct {
 	disableCache   bool
 	keepAbductions bool
 	onResult       func(FleetSessionResult)
+	onProgress     func(done, total int)
 	sinks          []FleetSink
 
 	// Persistence and serving.
@@ -119,6 +121,14 @@ type campaignOptions struct {
 	segmentBytes int64
 	readCache    int
 	resume       bool
+
+	// Multi-process dispatch (see Campaign.Dispatch).
+	dispatchBinary      string
+	dispatchDir         string
+	dispatchRestarts    int
+	dispatchRestartsSet bool
+	dispatchBackoff     time.Duration
+	dispatchEvents      func(DispatchEvent)
 }
 
 // CampaignOption configures a Campaign; see the With* constructors.
@@ -401,6 +411,23 @@ func WithSink(sink FleetSink) CampaignOption {
 func WithProgress(fn func(FleetSessionResult)) CampaignOption {
 	return func(o *campaignOptions) error {
 		o.onResult = fn
+		return nil
+	}
+}
+
+// WithProgressCounts calls fn once per completed session with the
+// count completed so far and the total this run will execute (the
+// corpus minus any resume skips and out-of-shard sessions) — the
+// lightweight progress hook a shard worker streams back to the
+// dispatch supervisor. fn is called from worker goroutines and must be
+// safe for concurrent use; each call carries a distinct done value but
+// calls may be observed out of order.
+func WithProgressCounts(fn func(done, total int)) CampaignOption {
+	return func(o *campaignOptions) error {
+		if fn == nil {
+			return errors.New("veritas: WithProgressCounts(nil)")
+		}
+		o.onProgress = fn
 		return nil
 	}
 }
@@ -718,6 +745,7 @@ func (c *Campaign) engineConfig() engine.Config {
 		DisableCache:   c.opt.disableCache,
 		KeepAbductions: c.opt.keepAbductions,
 		OnResult:       c.opt.onResult,
+		OnProgress:     c.opt.onProgress,
 	}
 }
 

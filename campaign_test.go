@@ -1,3 +1,6 @@
+//lint:file-ignore SA1019 Equivalence tests here call the deprecated
+// free-function surface on purpose, to pin it against the Campaign API.
+
 package veritas_test
 
 // Campaign API coverage: option validation, equivalence with the

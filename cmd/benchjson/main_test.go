@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlainBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: veritas
+BenchmarkFleet/cache=on-8         	       3	  41234567 ns/op	 1234567 B/op	    4567 allocs/op
+BenchmarkFleet/cache=off-8        	       3	  81234567 ns/op
+BenchmarkStoreWrite               	     100	     12345 ns/op	      12 MB/s	     456 B/op	       7 allocs/op
+PASS
+ok  	veritas	1.234s
+`
+	sum, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(sum.Benchmarks))
+	}
+	// Sorted by name: cache=off, cache=on, StoreWrite.
+	b := sum.Benchmarks[1]
+	if b.Name != "BenchmarkFleet/cache=on" || b.Procs != 8 || b.Runs != 3 ||
+		b.NsPerOp != 41234567 || b.BytesPerOp != 1234567 || b.AllocsPerOp != 4567 {
+		t.Errorf("cache=on parsed as %+v", b)
+	}
+	if sw := sum.Benchmarks[2]; sw.Name != "BenchmarkStoreWrite" || sw.Procs != 0 ||
+		sw.MBPerS != 12 || sw.AllocsPerOp != 7 {
+		t.Errorf("StoreWrite parsed as %+v", sw)
+	}
+	if sum.GoVersion == "" {
+		t.Error("summary carries no Go version")
+	}
+}
+
+func TestParseTest2JSONStream(t *testing.T) {
+	in := `{"Action":"start","Package":"veritas"}
+{"Action":"output","Package":"veritas","Output":"BenchmarkFleet-4   \t       2\t  5000 ns/op\t 100 B/op\t 2 allocs/op\n"}
+{"Action":"output","Package":"veritas","Output":"PASS\n"}
+{"Action":"pass","Package":"veritas"}
+{"Action":"start","Package":"veritas/internal/store"}
+{"Action":"output","Package":"veritas/internal/store","Output":"BenchmarkStoreQuery-4   \t      10\t  900.5 ns/op\n"}
+{"Action":"pass","Package":"veritas/internal/store"}
+`
+	sum, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+	if b := sum.Benchmarks[0]; b.Package != "veritas" || b.Name != "BenchmarkFleet" || b.NsPerOp != 5000 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if b := sum.Benchmarks[1]; b.Package != "veritas/internal/store" || b.NsPerOp != 900.5 {
+		t.Errorf("benchmark 1 = %+v", b)
+	}
+}
+
+func TestParseFailures(t *testing.T) {
+	for name, in := range map[string]string{
+		"no benchmarks":           "PASS\nok veritas 0.1s\n",
+		"mangled line":            "BenchmarkFleet-8 three 100 ns/op\n",
+		"package fail":            `{"Action":"fail","Package":"veritas"}` + "\n" + `{"Action":"output","Package":"veritas","Output":"BenchmarkX 1 5 ns/op\n"}` + "\n",
+		"malformed mid-run":       "BenchmarkOK 1 5 ns/op\nBenchmarkBroken-8 1 notanumber ns/op\n",
+		"plain-text package fail": "BenchmarkOK-8 3 100 ns/op\n--- FAIL: TestX (0.00s)\nFAIL\nFAIL\tveritas/internal/engine\t0.5s\n",
+	} {
+		if _, err := parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse accepted", name)
+		}
+	}
+}
+
+// TestParseSplitBenchmarkLines: test2json flushes a benchmark's name
+// when it starts and its timings when it ends — two output events, one
+// logical line — and interleaves packages; the parser must reassemble
+// per package.
+func TestParseSplitBenchmarkLines(t *testing.T) {
+	in := `{"Action":"output","Package":"a","Output":"BenchmarkSplit-8   "}
+{"Action":"output","Package":"b","Output":"BenchmarkOther-8   "}
+{"Action":"output","Package":"a","Output":"\t       3\t  1500 ns/op\t 10 B/op\t 1 allocs/op\n"}
+{"Action":"output","Package":"b","Output":"\t       6\t  2500 ns/op\n"}
+{"Action":"pass","Package":"a"}
+{"Action":"pass","Package":"b"}
+`
+	sum, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(sum.Benchmarks), sum.Benchmarks)
+	}
+	if b := sum.Benchmarks[0]; b.Package != "a" || b.Name != "BenchmarkSplit" || b.NsPerOp != 1500 || b.AllocsPerOp != 1 {
+		t.Errorf("reassembled benchmark = %+v", b)
+	}
+	if b := sum.Benchmarks[1]; b.Package != "b" || b.NsPerOp != 2500 {
+		t.Errorf("interleaved benchmark = %+v", b)
+	}
+}

@@ -35,21 +35,39 @@
 //	# one machine per shard, then fold:
 //	fleet -shard 0/2 -store shard0.store    # machine A
 //	fleet -shard 1/2 -store shard1.store    # machine B
-//	fleet -fold shard0.store,shard1.store -store campaign.store
+//	fleet -fold shard0.store -fold shard1.store -store campaign.store
+//
+// With -dispatch n, the process becomes a supervisor instead: it
+// spawns n shard worker processes (re-execs of this binary), streams
+// their progress, restarts crashed shards with resume into their same
+// store under a bounded backoff budget, folds the shard stores into
+// -store, prints the folded report — byte-identical to a
+// single-process run — and, with -serve, serves the folded corpus:
+//
+//	fleet -dispatch 4 -store campaign.store             # 4 supervised workers
+//	fleet -dispatch 4 -store campaign.store -serve :8077
+//	fleet -fold campaign.store.shards -store refold.store  # refold by hand later
+//
+// -fold may be repeated, and each value may be a shard store, a
+// comma-joined list, or a parent directory holding shard stores (the
+// layout -dispatch writes).
 //
 // Interrupting with Ctrl-C cancels the fleet promptly; with -store the
-// finished sessions survive the interrupt.
+// finished sessions survive the interrupt, and under -dispatch the
+// interrupt is forwarded to every worker, whose stores stay resumable.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"veritas"
 )
@@ -105,6 +123,86 @@ func (o options) campaignOptions() []veritas.CampaignOption {
 	return opts
 }
 
+// multiFlag collects a repeatable string flag; each occurrence may
+// itself be a comma-joined list.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	parts := splitCSV(v)
+	if len(parts) == 0 {
+		return fmt.Errorf("empty value")
+	}
+	*m = append(*m, parts...)
+	return nil
+}
+
+// dispatchEventPrinter renders supervisor events for the terminal.
+// Lifecycle events always print; per-session progress only with
+// -progress (a large campaign completes thousands of sessions).
+func dispatchEventPrinter(shards int, progress bool) func(veritas.DispatchEvent) {
+	return func(e veritas.DispatchEvent) {
+		switch e.Type {
+		case veritas.DispatchStart:
+			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker started (pid %d, attempt %d)\n", e.Shard, shards, e.PID, e.Attempt+1)
+		case veritas.DispatchProgress:
+			if progress {
+				fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: %d/%d sessions\n", e.Shard, shards, e.Done, e.Total)
+			}
+		case veritas.DispatchLine:
+			fmt.Fprintf(os.Stderr, "fleet: shard %d [%s] %s\n", e.Shard, e.Stream, e.Line)
+		case veritas.DispatchExit:
+			if e.Err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker failed: %v\n", e.Shard, shards, e.Err)
+			}
+		case veritas.DispatchRestart:
+			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: restarting (attempt %d) in %v\n", e.Shard, shards, e.Attempt+1, e.Delay)
+		case veritas.DispatchFold:
+			fmt.Fprintf(os.Stderr, "fleet: folded %d sessions from %d shard store(s)\n", e.Done, shards)
+		}
+	}
+}
+
+// dispatchRun runs the -dispatch path: supervise n workers, fold,
+// report, and optionally serve the folded corpus.
+func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr string, progress bool) error {
+	opts := append(o.campaignOptions(),
+		veritas.WithDispatchRestarts(restarts),
+		veritas.WithDispatchEvents(dispatchEventPrinter(n, progress)))
+	c, err := veritas.NewCampaign(opts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	corpus, err := c.Corpus()
+	if err != nil {
+		return err
+	}
+	arms, err := c.Arms()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet: dispatching %d sessions x %d arms across %d shard workers\n",
+		len(corpus), len(arms), n)
+	res, err := c.Dispatch(ctx, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet: dispatch complete: %d sessions folded into %s (%d restart(s), %v)\n",
+		res.Folded, o.storeDir, res.Restarts, res.Elapsed.Round(time.Millisecond))
+	if err := c.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "fleet: serving the folded corpus on %s\n", serveAddr)
+		if err := c.Serve(ctx, serveAddr); err != nil && err != http.ErrServerClosed {
+			return err
+		}
+	}
+	return nil
+}
+
 // parseShard parses a -shard value of the form "i/n" (e.g. "0/3").
 // Range validation lives in veritas.WithShard, not here.
 func parseShard(s string) (index, count int, err error) {
@@ -128,7 +226,7 @@ func fold(dst string, srcs []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fleet: folded %d sessions from %d shard store(s) into %s\n", n, len(srcs), dst)
+	fmt.Fprintf(os.Stderr, "fleet: folded %d sessions into %s\n", n, dst)
 	c, err := veritas.NewCampaign(veritas.WithStore(dst), veritas.WithReadOnlyStore())
 	if err != nil {
 		return err
@@ -138,8 +236,13 @@ func fold(dst string, srcs []string) error {
 }
 
 func main() {
+	// When a dispatch supervisor re-exec'd this binary as a shard
+	// worker, run the shard and exit; otherwise fall through to the
+	// normal CLI.
+	veritas.DispatchWorkerMain()
+
 	var o options
-	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, split across workers under -dispatch)")
 	flag.IntVar(&o.sessions, "sessions", 8, "sessions per scenario")
 	scenarios := flag.String("scenarios", "", "comma-separated scenarios (default: all of "+strings.Join(veritas.Scenarios(), ",")+")")
 	flag.IntVar(&o.chunks, "chunks", 120, "chunks per session (0 = full 10-min clip)")
@@ -153,10 +256,72 @@ func main() {
 	flag.StringVar(&o.storeDir, "store", "", "persist per-session results to this store directory")
 	flag.BoolVar(&o.resume, "resume", false, "skip sessions already present in -store")
 	shard := flag.String("shard", "", "execute only shard i/n of the corpus (e.g. 0/3); requires -store for later folding")
-	foldSrcs := flag.String("fold", "", "comma-separated shard store directories to fold into -store (no campaign runs)")
+	var foldSrcs multiFlag
+	flag.Var(&foldSrcs, "fold", "shard store(s) to fold into -store (repeatable; each value may be a store, a comma-joined list, or a parent directory of shard stores; no campaign runs)")
+	dispatchN := flag.Int("dispatch", 0, "supervise n local shard worker processes, fold their stores into -store, and report")
+	restarts := flag.Int("restarts", 2, "per-shard crash-restart budget under -dispatch")
+	serveAddr := flag.String("serve", "", "with -dispatch: serve the folded corpus on this address after the campaign")
 	flag.Parse()
 
-	if *foldSrcs != "" {
+	// The list-valued flags feed every run shape (normal, -shard,
+	// -dispatch); parse them once. The -fold path rejects them by flag
+	// presence before they are ever used.
+	o.scenarios = splitCSV(*scenarios)
+	o.abrs = splitCSV(*abrs)
+	bufVals, err := parseFloats(*buffers)
+	if err != nil {
+		fatal(fmt.Errorf("-buffers: %w", err))
+	}
+	o.buffers = bufVals
+
+	if *dispatchN < 1 {
+		// An explicit but impossible shard count must not silently fall
+		// through to a normal single-process run.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "dispatch" {
+				fatal(fmt.Errorf("-dispatch %d: shard count must be at least 1", *dispatchN))
+			}
+		})
+	}
+	if *dispatchN > 0 {
+		// The supervisor owns sharding, resuming, and reporting; flags
+		// that would contradict it must not be silently ignored.
+		var stray []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "shard":
+				stray = append(stray, "-shard (dispatch owns the partition)")
+			case "fold":
+				stray = append(stray, "-fold (dispatch folds for you)")
+			case "resume":
+				stray = append(stray, "-resume (dispatch workers always resume)")
+			}
+		})
+		if len(stray) > 0 {
+			fatal(fmt.Errorf("-dispatch conflicts with %s", strings.Join(stray, ", ")))
+		}
+		if o.storeDir == "" {
+			fatal(fmt.Errorf("-dispatch needs -store: the folded corpus has to land somewhere"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := dispatchRun(ctx, o, *dispatchN, *restarts, *serveAddr, *progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *serveAddr != "" {
+		fatal(fmt.Errorf("-serve requires -dispatch (use cmd/serve for a standalone query server)"))
+	}
+	// -restarts configures the dispatch supervisor; without -dispatch it
+	// would be silently ignored, which reads like it was honored.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "restarts" {
+			fatal(fmt.Errorf("-restarts requires -dispatch (there is no supervisor to restart workers)"))
+		}
+	})
+
+	if len(foldSrcs) > 0 {
 		if o.storeDir == "" {
 			fatal(fmt.Errorf("-fold needs -store as the destination directory"))
 		}
@@ -173,7 +338,7 @@ func main() {
 			fatal(fmt.Errorf("-fold takes only -store; the shard stores' campaign.json defines the campaign (drop %s)",
 				strings.Join(stray, ", ")))
 		}
-		if err := fold(o.storeDir, splitCSV(*foldSrcs)); err != nil {
+		if err := fold(o.storeDir, foldSrcs); err != nil {
 			fatal(err)
 		}
 		return
@@ -191,14 +356,6 @@ func main() {
 		}
 		o.shardIndex, o.shardCount = idx, cnt
 	}
-
-	o.scenarios = splitCSV(*scenarios)
-	o.abrs = splitCSV(*abrs)
-	bufVals, err := parseFloats(*buffers)
-	if err != nil {
-		fatal(fmt.Errorf("-buffers: %w", err))
-	}
-	o.buffers = bufVals
 
 	opts := o.campaignOptions()
 	var total int

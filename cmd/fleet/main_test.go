@@ -133,3 +133,42 @@ func TestShardFlagMapsOntoCampaign(t *testing.T) {
 		t.Errorf("-shard 3/3: err = %v, want out-of-range", err)
 	}
 }
+
+func TestMultiFlag(t *testing.T) {
+	var m multiFlag
+	for _, v := range []string{"a.store", "b.store,c.store", " d.store , "} {
+		if err := m.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	want := []string{"a.store", "b.store", "c.store", "d.store"}
+	if len(m) != len(want) {
+		t.Fatalf("multiFlag = %v, want %v", m, want)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("multiFlag[%d] = %q, want %q", i, m[i], want[i])
+		}
+	}
+	if err := m.Set(" , "); err == nil {
+		t.Error("blank -fold value accepted")
+	}
+	if got := m.String(); got != "a.store,b.store,c.store,d.store" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDispatchFlagsMapOntoCampaign(t *testing.T) {
+	// The dispatch path builds its campaign from the same flag->option
+	// mapping as a normal run plus the dispatch knobs; a bad restart
+	// budget must be rejected by the option, not discovered mid-run.
+	o := goodOptions()
+	opts := append(o.campaignOptions(), veritas.WithDispatchRestarts(2))
+	if _, err := veritas.NewCampaign(opts...); err != nil {
+		t.Fatalf("dispatch options rejected: %v", err)
+	}
+	opts = append(o.campaignOptions(), veritas.WithDispatchRestarts(-1))
+	if _, err := veritas.NewCampaign(opts...); err == nil {
+		t.Error("negative restart budget accepted")
+	}
+}

@@ -1,3 +1,6 @@
+//lint:file-ignore SA1019 This file deliberately exercises the deprecated
+// compat surface to pin that it keeps compiling and behaving.
+
 package veritas_test
 
 // The backward-compatibility gate: every exported identifier of the

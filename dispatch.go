@@ -1,0 +1,394 @@
+package veritas
+
+// The dispatch layer: one call that launches, babysits, and folds a
+// whole multi-process sharded campaign. Where WithShard/FoldShards are
+// the manual primitives (one process per machine, fold by hand),
+// Campaign.Dispatch is the supervised local form:
+//
+//	c, _ := veritas.NewCampaign(
+//		veritas.WithSessions(25),
+//		veritas.WithMatrix([]string{"bba", "bola"}, []float64{5, 30}),
+//		veritas.WithStore("campaign.store"),
+//	)
+//	res, _ := c.Dispatch(ctx, 4) // 4 worker processes -> folded store
+//	_ = c.WriteReport(os.Stdout) // byte-identical to a 1-process run
+//
+// Dispatch spawns one worker process per shard (a re-exec of the
+// worker binary, the current executable by default), streams their
+// progress, restarts crashed shards with resume into their same store
+// under a bounded, exponentially backed-off budget, and folds the
+// shard stores into the campaign's store. The host binary must call
+// DispatchWorkerMain at the top of main so the re-exec'd children run
+// the worker instead of the host program.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"veritas/internal/dispatch"
+)
+
+// Dispatch event/result types re-exported for campaign callers.
+type (
+	// DispatchEvent is one entry of the supervisor's merged event
+	// stream: worker starts, per-shard progress, forwarded output
+	// lines, exits, restarts, and the final fold.
+	DispatchEvent = dispatch.Event
+	// DispatchResult summarizes a completed dispatch: shard store
+	// directories, crash-restart count, folded session count.
+	DispatchResult = dispatch.Result
+)
+
+// Dispatch event types, re-exported so WithDispatchEvents callbacks
+// can switch on them.
+const (
+	DispatchStart    = dispatch.EventStart
+	DispatchProgress = dispatch.EventProgress
+	DispatchLine     = dispatch.EventLine
+	DispatchExit     = dispatch.EventExit
+	DispatchRestart  = dispatch.EventRestart
+	DispatchFold     = dispatch.EventFold
+)
+
+// dispatchWorkerEnv carries the worker spec to a re-exec'd child; its
+// presence is what turns DispatchWorkerMain into the worker.
+const dispatchWorkerEnv = "VERITAS_DISPATCH_WORKER"
+
+// WithDispatchBinary sets the worker binary Dispatch re-execs (default:
+// the current executable). The binary must call DispatchWorkerMain at
+// the top of its main, as cmd/fleet does.
+func WithDispatchBinary(path string) CampaignOption {
+	return func(o *campaignOptions) error {
+		if path == "" {
+			return errors.New("veritas: WithDispatchBinary needs a path")
+		}
+		o.dispatchBinary = path
+		return nil
+	}
+}
+
+// WithDispatchDir sets the parent directory the per-shard stores live
+// under (default: the campaign store directory plus ".shards"). The
+// shard stores persist after the fold, so a later Dispatch — or a
+// manual FoldShards over the directory — can resume or refold them.
+func WithDispatchDir(dir string) CampaignOption {
+	return func(o *campaignOptions) error {
+		if dir == "" {
+			return errors.New("veritas: WithDispatchDir needs a directory")
+		}
+		o.dispatchDir = dir
+		return nil
+	}
+}
+
+// WithDispatchRestarts bounds the per-shard crash-restart budget: a
+// shard may be relaunched at most n times after its first run (default
+// 2). n = 0 disables restarts; a shard that fails n+1 times fails the
+// dispatch and cancels its siblings (their stores remain resumable).
+func WithDispatchRestarts(n int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if n < 0 {
+			return fmt.Errorf("veritas: dispatch restarts %d is negative (0 disables restarts)", n)
+		}
+		o.dispatchRestarts = n
+		o.dispatchRestartsSet = true
+		return nil
+	}
+}
+
+// WithDispatchBackoff sets the delay before a crashed shard's first
+// relaunch (default 500ms); it doubles per subsequent restart of the
+// same shard, capped at 30s.
+func WithDispatchBackoff(d time.Duration) CampaignOption {
+	return func(o *campaignOptions) error {
+		if d <= 0 {
+			return fmt.Errorf("veritas: dispatch backoff %v must be positive", d)
+		}
+		o.dispatchBackoff = d
+		return nil
+	}
+}
+
+// WithDispatchEvents streams the supervisor's merged event stream —
+// worker starts and exits with PIDs, per-shard progress counts,
+// forwarded worker output lines, restarts, the fold — to fn. Calls are
+// serialized; fn needs no locking.
+func WithDispatchEvents(fn func(DispatchEvent)) CampaignOption {
+	return func(o *campaignOptions) error {
+		if fn == nil {
+			return errors.New("veritas: WithDispatchEvents(nil)")
+		}
+		o.dispatchEvents = fn
+		return nil
+	}
+}
+
+// workerSpec is the wire format Dispatch hands a worker process via
+// the environment: every result-shaping campaign option (zero values
+// mean the campaign defaults, so the worker's fingerprint matches the
+// parent's), the shard assignment, and the shard store directory.
+type workerSpec struct {
+	Scenarios []string  `json:"scenarios,omitempty"`
+	Sessions  int       `json:"sessions,omitempty"`
+	Chunks    int       `json:"chunks,omitempty"`
+	Samples   int       `json:"samples,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Buffer    float64   `json:"buffer,omitempty"`
+	ABRs      []string  `json:"abrs,omitempty"`
+	Buffers   []float64 `json:"buffers,omitempty"`
+	Workers   int       `json:"workers,omitempty"`
+	NoCache   bool      `json:"nocache,omitempty"`
+	Shard     int       `json:"shard"`
+	Of        int       `json:"of"`
+	Store     string    `json:"store"`
+}
+
+// options maps the spec back onto campaign options. Only non-zero
+// fields become options, so a defaulted parent campaign and its
+// workers compute identical fingerprints.
+func (s workerSpec) options() []CampaignOption {
+	opts := []CampaignOption{
+		WithStore(s.Store),
+		WithResume(),
+		WithShard(s.Shard, s.Of),
+	}
+	if len(s.Scenarios) > 0 {
+		opts = append(opts, WithScenarios(s.Scenarios...))
+	}
+	if s.Sessions > 0 {
+		opts = append(opts, WithSessions(s.Sessions))
+	}
+	if s.Chunks > 0 {
+		opts = append(opts, WithChunks(s.Chunks))
+	}
+	if s.Samples > 0 {
+		opts = append(opts, WithSamples(s.Samples))
+	}
+	if s.Seed != 0 {
+		opts = append(opts, WithSeed(s.Seed))
+	}
+	if s.Buffer > 0 {
+		opts = append(opts, WithDeployedBuffer(s.Buffer))
+	}
+	if len(s.ABRs) > 0 {
+		opts = append(opts, WithMatrix(s.ABRs, s.Buffers))
+	}
+	if s.Workers > 0 {
+		opts = append(opts, WithWorkers(s.Workers))
+	}
+	if s.NoCache {
+		opts = append(opts, WithoutMemoization())
+	}
+	return opts
+}
+
+// Dispatch executes the campaign as n supervised local worker
+// processes — the one-command replacement for launching one
+// `fleet -shard i/n` per terminal and folding by hand. Each worker
+// computes shard i of n into its own store under the dispatch
+// directory; crashed workers are restarted with resume into their same
+// store (bounded by WithDispatchRestarts, backed off per
+// WithDispatchBackoff); when every shard completes, the shard stores
+// are folded into the campaign's store, whose aggregate report — and
+// served /v1/report body — is byte-identical to a single-process run
+// of the same campaign. After Dispatch returns, Report, WriteReport,
+// Serve and Handler answer from the folded store.
+//
+// Dispatch requires WithStore (the fold destination) and a campaign
+// whose result-shaping options are serializable across processes: no
+// WithCorpus, WithArms or WithDeployedABR (Go functions cannot cross a
+// process boundary), no WithShard (Dispatch owns the partition), and
+// no WithSink/WithProgress/WithProgressCounts (use WithDispatchEvents
+// for the supervised event stream). Cancelling ctx terminates every
+// worker gracefully; finished sessions are durable in the shard
+// stores, so rerunning Dispatch resumes where the shards stopped.
+//
+// The worker binary (WithDispatchBinary, default the current
+// executable) must call DispatchWorkerMain at the top of main.
+func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("veritas: dispatch shard count %d must be at least 1", n)
+	}
+	o := c.opt
+	switch {
+	case o.storeDir == "":
+		return nil, errors.New("veritas: Dispatch needs WithStore: the folded corpus has to land somewhere")
+	case o.readOnly:
+		return nil, errors.New("veritas: campaign store is read-only (drop WithReadOnlyStore to dispatch)")
+	case o.shardCount > 0:
+		return nil, errors.New("veritas: WithShard and Dispatch are mutually exclusive: Dispatch owns the shard partition")
+	case o.corpus != nil || o.armsSet || o.newDeployedABR != nil:
+		return nil, errors.New("veritas: Dispatch cannot serialize WithCorpus/WithArms/WithDeployedABR across processes; run those campaigns in-process or shard them by hand")
+	case len(o.sinks) > 0 || o.onResult != nil || o.onProgress != nil:
+		return nil, errors.New("veritas: WithSink/WithProgress/WithProgressCounts do not cross the worker process boundary; use WithDispatchEvents")
+	}
+	if err := c.beginDispatch(); err != nil {
+		return nil, err
+	}
+	defer c.end(nil)
+
+	binary := o.dispatchBinary
+	if binary == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("veritas: resolving the worker binary: %w", err)
+		}
+		binary = exe
+	}
+	// Clean before deriving siblings: a trailing slash would nest the
+	// shard directory (and the fold's temporary) inside the store.
+	storeDir := filepath.Clean(o.storeDir)
+	dir := o.dispatchDir
+	if dir == "" {
+		dir = storeDir + ".shards"
+	}
+	// One machine runs all n workers: with no explicit worker count,
+	// split GOMAXPROCS across them instead of oversubscribing n-fold.
+	// (Worker counts never change results, only speed.)
+	workers := o.workers
+	if workers == 0 {
+		if workers = runtime.GOMAXPROCS(0) / n; workers < 1 {
+			workers = 1
+		}
+	}
+	restarts := dispatch.DefaultMaxRestarts
+	if o.dispatchRestartsSet {
+		restarts = o.dispatchRestarts
+	}
+
+	cfg := dispatch.Config{
+		Shards: n,
+		Dir:    dir,
+		// The campaign's acceptable fingerprints make the fold-target
+		// replaceability check decidable before any worker runs.
+		FoldInto:     storeDir,
+		Fingerprints: c.fingerprints(),
+		MaxRestarts:  restarts,
+		Backoff:      o.dispatchBackoff,
+		OnEvent:      o.dispatchEvents,
+		Command: func(w dispatch.Worker) (*exec.Cmd, error) {
+			spec := workerSpec{
+				Scenarios: o.scenarios,
+				Sessions:  o.sessionsPer,
+				Chunks:    o.chunks,
+				Samples:   o.samples,
+				Seed:      o.seed,
+				Buffer:    o.deployedBuffer,
+				ABRs:      o.abrs,
+				Buffers:   o.buffers,
+				Workers:   workers,
+				NoCache:   o.disableCache,
+				Shard:     w.Shard,
+				Of:        w.Shards,
+				Store:     w.StoreDir,
+			}
+			b, err := json.Marshal(spec)
+			if err != nil {
+				return nil, err
+			}
+			cmd := exec.Command(binary)
+			cmd.Env = append(os.Environ(), dispatchWorkerEnv+"="+string(b))
+			return cmd, nil
+		},
+	}
+	return dispatch.Run(ctx, cfg)
+}
+
+// beginDispatch marks the campaign running and insists its store is
+// not open in this process: the fold replaces the store directory on
+// disk, which must not happen under a live handle.
+func (c *Campaign) beginDispatch() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return errors.New("veritas: campaign is already running")
+	}
+	if c.st != nil {
+		return errors.New("veritas: the campaign store is open in this process; Close it before Dispatch (the fold replaces the store directory)")
+	}
+	c.running = true
+	return nil
+}
+
+// DispatchWorkerMain is the worker entrypoint behind Campaign.Dispatch.
+// Call it at the top of main in any binary used as a dispatch worker
+// (cmd/fleet does): when the process was spawned by a dispatch
+// supervisor it runs the assigned shard — building the campaign from
+// the inherited spec, resuming into the shard store, streaming NDJSON
+// progress on stdout, terminating gracefully on SIGINT/SIGTERM — and
+// exits; otherwise it returns immediately and main proceeds normally.
+func DispatchWorkerMain() {
+	raw := os.Getenv(dispatchWorkerEnv)
+	if raw == "" {
+		return
+	}
+	os.Exit(dispatchWorker(raw, os.Stdout, os.Stderr))
+}
+
+// dispatchWorker runs one shard attempt; it is DispatchWorkerMain less
+// the process concerns, returning the exit code.
+func dispatchWorker(raw string, stdout, stderr *os.File) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "dispatch worker:", err)
+		return 1
+	}
+	var spec workerSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		return fail(fmt.Errorf("decoding %s: %w", dispatchWorkerEnv, err))
+	}
+
+	// Progress protocol: one JSON object per line on stdout. Counts are
+	// rebased over the sessions already durable in the shard store, so
+	// a restarted worker reports "4/6", not "1/3" — progress of the
+	// shard, not of the attempt.
+	var (
+		mu   sync.Mutex
+		base int
+		enc  = json.NewEncoder(stdout)
+	)
+	progress := func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(struct {
+			Type  string `json:"type"`
+			Shard int    `json:"shard"`
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+		}{"progress", spec.Shard, base + done, base + total})
+	}
+
+	opts := append(spec.options(), WithProgressCounts(progress))
+	c, err := NewCampaign(opts...)
+	if err != nil {
+		return fail(err)
+	}
+	defer c.Close()
+	st, err := c.Store()
+	if err != nil {
+		return fail(err)
+	}
+	base = st.Len()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if _, err := c.Run(ctx); err != nil {
+		// Keep finished sessions durable for the supervisor's restart;
+		// a sync failure means they may not have survived, which must
+		// not pass silently as a clean crash.
+		if serr := st.Sync(); serr != nil {
+			fmt.Fprintln(stderr, "dispatch worker: store sync failed:", serr)
+		}
+		return fail(err)
+	}
+	return 0
+}

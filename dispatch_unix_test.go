@@ -1,0 +1,110 @@
+//go:build unix
+
+package veritas_test
+
+// The dispatch acceptance pin: the same campaign computed two ways —
+// one process, and three supervised worker processes where one worker
+// is SIGKILLed mid-run (so the supervisor restarts it with resume into
+// its same store) — must produce byte-identical engine.Report JSON and
+// byte-identical /v1/report bodies. This is the contract that turns
+// the manual shard runbook into one command: supervision, crashes and
+// restarts change how the corpus is computed, never what.
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"veritas"
+)
+
+func TestDispatchedCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	ctx := context.Background()
+	const shards = 3
+
+	// Way A: one process, one store.
+	dirA := filepath.Join(t.TempDir(), "single.store")
+	single, err := veritas.NewCampaign(append(dispatchOptions(), veritas.WithStore(dirA))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantReport := reportJSON(t, single)
+	wantBody := v1Report(t, single)
+
+	// Way B: dispatched across three worker processes (re-execs of this
+	// test binary; see TestMain). Shard 1's first attempt is SIGKILLed
+	// right after its first completed session, so the supervisor must
+	// restart it with resume to finish the campaign.
+	dst := filepath.Join(t.TempDir(), "dispatched.store")
+	var killed atomic.Bool
+	events := func(e veritas.DispatchEvent) {
+		if e.Type == veritas.DispatchProgress && e.Shard == 1 && e.Attempt == 0 && e.Done > 0 {
+			if killed.CompareAndSwap(false, true) {
+				syscall.Kill(e.PID, syscall.SIGKILL)
+			}
+		}
+	}
+	c, err := veritas.NewCampaign(append(dispatchOptions(),
+		veritas.WithStore(dst),
+		veritas.WithDispatchRestarts(3),
+		veritas.WithDispatchBackoff(time.Millisecond),
+		veritas.WithDispatchEvents(events),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Dispatch(ctx, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Load() {
+		t.Fatal("no worker was killed; the harness did not exercise crash-restart")
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("supervisor counted %d restarts after a SIGKILLed worker", res.Restarts)
+	}
+	corpus, err := c.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded != len(corpus) {
+		t.Errorf("folded %d sessions, want the whole %d-session corpus", res.Folded, len(corpus))
+	}
+
+	// The dispatching campaign itself now reports from the folded
+	// store, byte-identically to the single-process run — through
+	// Report() and through the serving layer.
+	if got := reportJSON(t, c); !bytes.Equal(wantReport, got) {
+		t.Fatalf("dispatched report differs from the single-process run\nwant: %s\ngot:  %s", wantReport, got)
+	}
+	if got := v1Report(t, c); !bytes.Equal(wantBody, got) {
+		t.Fatal("dispatched /v1/report body differs from the single-process store's")
+	}
+
+	// And the shard stores remain foldable by hand — FoldShards over
+	// the dispatch parent directory reproduces the same corpus.
+	refold := filepath.Join(t.TempDir(), "refold.store")
+	if _, err := veritas.FoldShards(refold, dst+".shards"); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := veritas.NewCampaign(veritas.WithStore(refold), veritas.WithReadOnlyStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if got := reportJSON(t, rc); !bytes.Equal(wantReport, got) {
+		t.Fatal("parent-directory refold differs from the single-process run")
+	}
+}

@@ -30,6 +30,12 @@
 //     campaign's execution, durability, streaming iteration and HTTP
 //     serving together. The older free functions (RunFleet,
 //     BuildCorpus, FleetMatrix, ...) remain as deprecated shims.
+//   - Campaign.Dispatch scales a campaign across worker processes:
+//     a supervisor (internal/dispatch) launches one re-exec'd worker
+//     per shard (see DispatchWorkerMain), streams their progress,
+//     restarts crashed shards with resume into their same store, and
+//     folds the shard stores into one corpus whose report is
+//     byte-identical to a single-process run.
 //
 // Everything the pipeline needs is included: a bandwidth-trace
 // substrate with an FCC-like generator, a TCP/network emulator standing

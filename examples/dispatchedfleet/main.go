@@ -1,0 +1,118 @@
+// Dispatchedfleet: the one-command replacement for the manual shard
+// runbook. Where examples/shardedfleet plays all three "machines" by
+// hand — one campaign per shard, then FoldShards — this example hands
+// the whole lifecycle to the dispatch supervisor: Campaign.Dispatch
+// spawns one worker process per shard (re-execs of this very binary;
+// note the DispatchWorkerMain call at the top of main), streams their
+// progress, restarts any shard that crashes with resume into its same
+// store, folds the shard stores into the campaign store, and leaves
+// the campaign reporting from the folded corpus — byte-identical to a
+// single-process run, which the example verifies.
+//
+//	go run ./examples/dispatchedfleet
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"veritas"
+)
+
+const shards = 2
+
+// campaignOptions is the shared campaign definition; the dispatch
+// workers rebuild exactly these options from the spec the supervisor
+// hands them, so every process computes the same campaign.
+func campaignOptions() []veritas.CampaignOption {
+	return []veritas.CampaignOption{
+		veritas.WithScenarios("fcc", "lte"),
+		veritas.WithSessions(2),
+		veritas.WithChunks(30),
+		veritas.WithSamples(2),
+		veritas.WithSeed(7),
+		veritas.WithMatrix([]string{"bba"}, []float64{5}),
+	}
+}
+
+func main() {
+	// Dispatch workers are re-execs of this binary: when the supervisor
+	// spawned us, run the assigned shard and exit; otherwise fall
+	// through and BE the supervisor.
+	veritas.DispatchWorkerMain()
+
+	work, err := os.MkdirTemp("", "dispatchedfleet-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+	ctx := context.Background()
+
+	// The single-process reference run.
+	ref, err := veritas.NewCampaign(campaignOptions()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ref.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	refReport, err := ref.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	refJSON, err := json.Marshal(refReport)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The dispatched run: one supervised worker process per shard,
+	// folded into the campaign store. The event callback is the
+	// supervisor's merged progress stream.
+	folded := filepath.Join(work, "campaign.store")
+	c, err := veritas.NewCampaign(append(campaignOptions(),
+		veritas.WithStore(folded),
+		veritas.WithDispatchEvents(func(e veritas.DispatchEvent) {
+			switch e.Type {
+			case veritas.DispatchStart:
+				fmt.Printf("shard %d: worker pid %d (attempt %d)\n", e.Shard, e.PID, e.Attempt+1)
+			case veritas.DispatchProgress:
+				fmt.Printf("shard %d: %d/%d sessions\n", e.Shard, e.Done, e.Total)
+			case veritas.DispatchRestart:
+				fmt.Printf("shard %d: crashed (%v); restarting in %v\n", e.Shard, e.Err, e.Delay)
+			case veritas.DispatchFold:
+				fmt.Printf("folded %d sessions\n", e.Done)
+			}
+		}),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Dispatch(ctx, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dispatched %d shards: %d sessions folded, %d restart(s), %v\n",
+		shards, res.Folded, res.Restarts, res.Elapsed.Round(time.Millisecond))
+
+	// The dispatching campaign reports from the folded store — exactly
+	// what the single-process run computed.
+	dispReport, err := c.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dispJSON, err := json.Marshal(dispReport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, dispJSON) {
+		log.Fatal("dispatched report differs from the single-process report")
+	}
+	fmt.Printf("dispatched report is byte-identical to the single-process report (%d bytes)\n", len(dispJSON))
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package dispatch
+
+import (
+	"os"
+	"os/exec"
+)
+
+// isolate is a no-op where process groups are unavailable.
+func isolate(*exec.Cmd) {}
+
+// terminate on platforms without SIGTERM delivery: there is no
+// graceful signal to forward, so kill outright. Finished sessions are
+// already durable in the shard store; the restart-resume machinery
+// treats this like any other crash.
+func terminate(p *os.Process) {
+	p.Kill()
+}
+
+// kill forcibly ends a worker process.
+func kill(p *os.Process) {
+	p.Kill()
+}

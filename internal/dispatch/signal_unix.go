@@ -1,0 +1,32 @@
+//go:build unix
+
+package dispatch
+
+import (
+	"os"
+	"os/exec"
+	"syscall"
+)
+
+// isolate puts the worker in its own process group, so (a) a terminal
+// Ctrl-C reaches only the supervisor, which forwards an orderly
+// terminate instead of racing the workers' own signal handlers, and
+// (b) terminate/kill reach the whole worker process tree — a grandchild
+// holding the stdout pipe open would otherwise wedge the supervisor's
+// scanner after the worker itself died.
+func isolate(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// terminate asks a worker's process group to shut down gracefully:
+// SIGTERM, which the worker entrypoint (and cmd/fleet) traps to cancel
+// its run and sync its store. The supervisor escalates to kill after
+// the grace period.
+func terminate(p *os.Process) {
+	syscall.Kill(-p.Pid, syscall.SIGTERM)
+}
+
+// kill forcibly ends a worker's process group.
+func kill(p *os.Process) {
+	syscall.Kill(-p.Pid, syscall.SIGKILL)
+}

@@ -65,6 +65,15 @@ type Config struct {
 	// worker goroutines, in completion order. It must be safe for
 	// concurrent use.
 	OnResult func(SessionResult)
+	// OnProgress, when set, is called once per completed session, from
+	// worker goroutines, with the count of sessions completed so far and
+	// the total this run will execute (the corpus minus the Skip set and
+	// any out-of-shard sessions). Each call carries a distinct done
+	// value and the final call's done equals total, but calls from
+	// different workers may be observed out of order. It must be safe
+	// for concurrent use. This is the per-shard progress hook the
+	// dispatch supervisor streams out of worker processes.
+	OnProgress func(done, total int)
 	// Sink, when set, receives every completed session result in
 	// completion order — the streaming persistence hook behind
 	// `cmd/fleet -store`. Put is called from worker goroutines; the
@@ -321,6 +330,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 		errOnce                sync.Once
 		firstErr               error
 		cacheHits, cacheMisses atomic.Uint64
+		completed              atomic.Int64
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -356,6 +366,9 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 					}
 					if cfg.OnResult != nil {
 						cfg.OnResult(res)
+					}
+					if cfg.OnProgress != nil {
+						cfg.OnProgress(int(completed.Add(1)), executed)
 					}
 					if cfg.Sink != nil {
 						// The sink owns the full data now; retaining

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -381,6 +382,55 @@ func TestSkipLeavesIndicesStable(t *testing.T) {
 		if s.SettingA != full.Sessions[i].SettingA {
 			t.Errorf("session %s: SettingA differs between full and skipped runs", s.ID)
 		}
+	}
+}
+
+// TestOnProgressCounts pins the progress callback the dispatch
+// supervisor streams out of shard workers: one call per completed
+// session, distinct done values covering 1..executed, and a total that
+// accounts for both the shard partition and the skip set.
+func TestOnProgressCounts(t *testing.T) {
+	corpus := testCorpus(t, 2) // 8 sessions
+	var (
+		mu     sync.Mutex
+		seen   = map[int]bool{}
+		totals = map[int]bool{}
+	)
+	skip := map[string]bool{corpus[1].ID: true}
+	res, err := Run(context.Background(), Config{
+		Workers:    3,
+		Samples:    2,
+		Seed:       1,
+		ShardIndex: 1,
+		ShardCount: 2,
+		Skip:       skip,
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[done] {
+				t.Errorf("done value %d reported twice", done)
+			}
+			seen[done] = true
+			totals[total] = true
+		},
+	}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1/2 of 8 sessions is indices {1,3,5,7}; index 1 is skipped.
+	if res.Executed != 3 {
+		t.Fatalf("Executed = %d, want 3", res.Executed)
+	}
+	if len(seen) != res.Executed {
+		t.Errorf("progress called %d times, want %d", len(seen), res.Executed)
+	}
+	for d := 1; d <= res.Executed; d++ {
+		if !seen[d] {
+			t.Errorf("progress never reported done=%d", d)
+		}
+	}
+	if len(totals) != 1 || !totals[res.Executed] {
+		t.Errorf("progress totals = %v, want exactly {%d}", totals, res.Executed)
 	}
 }
 

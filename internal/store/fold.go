@@ -29,6 +29,88 @@ import (
 	"sort"
 )
 
+// DiscoverShards returns the shard store directories directly under
+// parent — subdirectories carrying a shard.json — sorted by recorded
+// shard index (ties broken by name; Fold revalidates and reorders
+// anyway). It returns an empty slice, not an error, when parent holds
+// none: the caller decides whether "no shards here" is a problem. A
+// child whose shard.json is unreadable or impossible is an error —
+// skipping it would let a fold quietly miss a shard.
+func DiscoverShards(parent string) ([]string, error) {
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	type kid struct {
+		dir  string
+		meta ShardMeta
+	}
+	var kids []kid
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(parent, e.Name())
+		m, ok, err := ReadShardMeta(dir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			kids = append(kids, kid{dir: dir, meta: m})
+		}
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].meta.Index != kids[j].meta.Index {
+			return kids[i].meta.Index < kids[j].meta.Index
+		}
+		return kids[i].dir < kids[j].dir
+	})
+	out := make([]string, len(kids))
+	for i, k := range kids {
+		out[i] = k.dir
+	}
+	return out, nil
+}
+
+// expandSources resolves Fold's source spellings: a directory that is
+// itself a shard store (or any plain store) stands for itself, while a
+// directory that carries no shard.json but contains shard stores
+// expands to them — so callers can hand Fold the parent directory a
+// dispatcher laid its shard stores out in, instead of enumerating
+// every shard by hand.
+func expandSources(srcs []string) ([]string, error) {
+	out := make([]string, 0, len(srcs))
+	for _, dir := range srcs {
+		_, ok, err := ReadShardMeta(dir)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, dir)
+			continue
+		}
+		if _, rdErr := os.ReadDir(dir); rdErr != nil {
+			// Not an enumerable directory: keep it and let Merge fail
+			// (or fold it) with its real error.
+			out = append(out, dir)
+			continue
+		}
+		kids, err := DiscoverShards(dir)
+		if err != nil {
+			// A child's shard.json is broken; skipping it here would
+			// let the fold quietly miss a shard.
+			return nil, err
+		}
+		if len(kids) == 0 {
+			// A plain pre-shard store: folds with Merge semantics.
+			out = append(out, dir)
+			continue
+		}
+		out = append(out, kids...)
+	}
+	return out, nil
+}
+
 // ShardMetaFile is the name of the shard metadata file a sharded
 // campaign writes into its per-shard store directory.
 const ShardMetaFile = "shard.json"
@@ -81,7 +163,9 @@ func ReadShardMeta(dir string) (m ShardMeta, ok bool, err error) {
 }
 
 // Fold compacts per-shard campaign stores into a fresh store at dst.
-// Returns the number of sessions in the folded store.
+// Returns the number of sessions in the folded store. Each source may
+// be a shard store itself or a parent directory holding shard stores
+// (the layout the dispatch supervisor writes), which expands to them.
 //
 // When every source carries shard metadata, sources are reordered by
 // shard index, and the set must be complete: exactly one store per
@@ -95,6 +179,10 @@ func ReadShardMeta(dir string) (m ShardMeta, ok bool, err error) {
 func Fold(dst string, opt Options, srcs ...string) (int, error) {
 	if len(srcs) == 0 {
 		return 0, errors.New("store: Fold needs at least one source")
+	}
+	srcs, err := expandSources(srcs)
+	if err != nil {
+		return 0, err
 	}
 	ordered, err := orderByShard(srcs)
 	if err != nil {

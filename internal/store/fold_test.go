@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -258,5 +259,131 @@ func TestFoldRefusesImpossibleShardMeta(t *testing.T) {
 	if _, err := Fold(filepath.Join(t.TempDir(), "out"), Options{}, dir0, dirBad); err == nil ||
 		!strings.Contains(err.Error(), "impossible shard") {
 		t.Errorf("fold accepted an impossible shard.json: err = %v", err)
+	}
+}
+
+// TestDiscoverShards: parent-directory enumeration finds exactly the
+// subdirectories carrying shard.json, ordered by shard index, and
+// refuses to skip a child whose shard.json is broken.
+func TestDiscoverShards(t *testing.T) {
+	parent := t.TempDir()
+	// Shard stores laid out under names that do NOT sort by index.
+	for name, meta := range map[string]ShardMeta{
+		"z-first.store": {Index: 0, Count: 3},
+		"a-last.store":  {Index: 2, Count: 3},
+		"m-mid.store":   {Index: 1, Count: 3},
+	} {
+		dir := filepath.Join(parent, name)
+		s, err := Create(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		if err := WriteShardMeta(dir, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise that must not be discovered: a plain subdirectory and a file.
+	if err := os.MkdirAll(filepath.Join(parent, "notes"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(parent, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := DiscoverShards(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(parent, "z-first.store"),
+		filepath.Join(parent, "m-mid.store"),
+		filepath.Join(parent, "a-last.store"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("DiscoverShards = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("DiscoverShards[%d] = %s, want %s (index order)", i, got[i], want[i])
+		}
+	}
+
+	// A broken child must fail discovery, not silently vanish from it.
+	if err := os.WriteFile(filepath.Join(parent, "m-mid.store", ShardMetaFile), []byte(`{"Index":9,"Count":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiscoverShards(parent); err == nil || !strings.Contains(err.Error(), "impossible shard") {
+		t.Errorf("broken child discovered without error: err = %v", err)
+	}
+
+	// An empty parent discovers nothing, without error.
+	if kids, err := DiscoverShards(t.TempDir()); err != nil || len(kids) != 0 {
+		t.Errorf("empty parent: kids=%v err=%v", kids, err)
+	}
+}
+
+// TestFoldExpandsParentDirectory: Fold accepts the parent directory a
+// dispatcher laid its shard stores in, equivalently to listing every
+// shard store by hand.
+func TestFoldExpandsParentDirectory(t *testing.T) {
+	parent := t.TempDir()
+	dirs := make([]string, 2)
+	for i := range dirs {
+		dirs[i] = filepath.Join(parent, fmt.Sprintf("shard-%d.store", i))
+		s, err := Create(dirs[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(testRow(i, "fcc")); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		if err := WriteShardMeta(dirs[i], ShardMeta{Index: i, Count: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	byHand := filepath.Join(t.TempDir(), "byhand")
+	nHand, err := Fold(byHand, Options{}, dirs[0], dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	byParent := filepath.Join(t.TempDir(), "byparent")
+	nParent, err := Fold(byParent, Options{}, parent)
+	if err != nil {
+		t.Fatalf("Fold over the parent directory: %v", err)
+	}
+	if nHand != 2 || nParent != 2 {
+		t.Fatalf("folded %d / %d sessions, want 2 / 2", nHand, nParent)
+	}
+	a, err := Open(byHand, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(byParent, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ka, kb := a.Keys(), b.Keys()
+	if len(ka) != len(kb) {
+		t.Fatalf("key counts differ: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Errorf("key %d differs: %s vs %s", i, ka[i], kb[i])
+		}
+	}
+
+	// Expansion still validates completeness: removing one shard store
+	// from the parent must refuse the fold, not fold the remainder.
+	if err := os.RemoveAll(dirs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fold(filepath.Join(t.TempDir(), "partial"), Options{}, parent); err == nil ||
+		!strings.Contains(err.Error(), "missing shard") {
+		t.Errorf("partial parent folded: err = %v", err)
 	}
 }
