@@ -30,8 +30,15 @@ import (
 	"time"
 
 	"veritas/internal/engine"
+	"veritas/internal/mathx"
 	"veritas/internal/store"
+	"veritas/internal/telemetry"
 )
+
+// TelemetrySnapshot is a point-in-time capture of a campaign's metrics
+// registry: plain data that serializes to JSON, merges additively, and
+// renders as Prometheus text (WritePrometheus). See Campaign.Telemetry.
+type TelemetrySnapshot = telemetry.Snapshot
 
 // Fleet data types re-exported for campaign callers.
 type (
@@ -129,6 +136,10 @@ type campaignOptions struct {
 	dispatchRestartsSet bool
 	dispatchBackoff     time.Duration
 	dispatchEvents      func(DispatchEvent)
+	dispatchStatus      string
+
+	// Observability.
+	noTelemetry bool
 }
 
 // CampaignOption configures a Campaign; see the With* constructors.
@@ -451,6 +462,35 @@ func WithoutMemoization() CampaignOption {
 	}
 }
 
+// WithoutTelemetry disables the campaign's metrics registry: no stage
+// timers, counters, or cache fold-ins are recorded, Telemetry returns
+// an empty snapshot, and /metrics on the serving layer carries only
+// serve-side request metrics. Telemetry never affects results either
+// way — a determinism test pins reports byte-identical with it on and
+// off — so this exists for benchmarks isolating instrumentation cost.
+func WithoutTelemetry() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.noTelemetry = true
+		return nil
+	}
+}
+
+// WithDispatchStatus serves the dispatcher's live status API on addr
+// for the duration of a Dispatch: GET /v1/status (per-shard progress,
+// restarts, merged telemetry as JSON) and GET /metrics (the supervisor
+// registry merged with every worker's latest snapshot, as Prometheus
+// text). The listener binds when Dispatch starts and closes when it
+// returns; a bind failure fails the dispatch fast.
+func WithDispatchStatus(addr string) CampaignOption {
+	return func(o *campaignOptions) error {
+		if addr == "" {
+			return errors.New("veritas: WithDispatchStatus needs a listen address")
+		}
+		o.dispatchStatus = addr
+		return nil
+	}
+}
+
 // Campaign is a batch causal-query campaign: a corpus of sessions, a
 // matrix of what-if arms, and the run/persistence/serving machinery
 // around them. Build one with NewCampaign; the zero value is not
@@ -458,6 +498,7 @@ func WithoutMemoization() CampaignOption {
 // Resume or Results may execute at a time.
 type Campaign struct {
 	opt campaignOptions
+	reg *telemetry.Registry // nil with WithoutTelemetry
 
 	mu      sync.Mutex
 	corpus  []FleetSpec
@@ -495,7 +536,33 @@ func NewCampaign(opts ...CampaignOption) (*Campaign, error) {
 		(o.scenarios != nil || o.sessionsPer != 0 || o.deployedBuffer != 0 || o.newDeployedABR != nil) {
 		return nil, errors.New("veritas: WithCorpus replaces the scenario mix; drop WithScenarios/WithSessions/WithDeployedABR/WithDeployedBuffer")
 	}
-	return &Campaign{opt: o}, nil
+	c := &Campaign{opt: o}
+	if !o.noTelemetry {
+		c.reg = telemetry.NewRegistry()
+		// The shared transition-power cache keeps process-global
+		// counters; fold them in rather than double-counting. (They are
+		// process-wide, so overlapping campaigns in one process each
+		// report the shared totals.)
+		c.reg.RegisterFunc("veritas_powers_cache_hits_total", telemetry.CounterFunc, func() float64 {
+			h, _ := mathx.SharedPowerStats()
+			return float64(h)
+		})
+		c.reg.RegisterFunc("veritas_powers_cache_misses_total", telemetry.CounterFunc, func() float64 {
+			_, m := mathx.SharedPowerStats()
+			return float64(m)
+		})
+	}
+	return c, nil
+}
+
+// Telemetry captures the campaign's metrics registry: engine stage
+// latencies and throughput, store append/fsync/recovery counters,
+// cache fold-ins, and — during a Dispatch — supervisor-side shard
+// gauges. The snapshot is plain data (JSON-ready, Prometheus-renderable
+// via WritePrometheus, additively mergeable). With WithoutTelemetry it
+// is empty.
+func (c *Campaign) Telemetry() TelemetrySnapshot {
+	return c.reg.Snapshot()
 }
 
 // corpusConfig maps the scenario-mix options onto the engine's corpus
@@ -669,6 +736,7 @@ func (c *Campaign) ensureStoreLocked() (*FleetStore, error) {
 	opt := store.Options{
 		SegmentBytes: c.opt.segmentBytes,
 		ReadOnly:     c.opt.readOnly,
+		Telemetry:    c.reg,
 	}
 	var fps [][]byte
 	if !c.opt.readOnly {
@@ -746,6 +814,7 @@ func (c *Campaign) engineConfig() engine.Config {
 		KeepAbductions: c.opt.keepAbductions,
 		OnResult:       c.opt.onResult,
 		OnProgress:     c.opt.onProgress,
+		Telemetry:      c.reg,
 	}
 }
 
@@ -1042,7 +1111,7 @@ func (c *Campaign) Handler() (http.Handler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return store.NewHandler(st, store.ServeOptions{CacheEntries: c.opt.readCache}), nil
+	return store.NewHandler(st, store.ServeOptions{CacheEntries: c.opt.readCache, Telemetry: c.reg}), nil
 }
 
 // Serve serves the campaign's store over HTTP on addr until ctx is

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Compare mode turns benchjson from a recorder into a gate: given the
+// previous run's summary and the current one, it fails (exit 1) when a
+// benchmark regressed beyond tolerance or disappeared entirely.
+//
+//	benchjson -compare BENCH_5.json -tolerance 0.20 BENCH_6.json
+//
+// Two metrics are gated. ns/op is wall-clock and noisy across
+// machines, so its tolerance is a fraction of the baseline (default
+// +20%). allocs/op is deterministic for a given toolchain, so its
+// tolerance (-alloc-tolerance, default 0) is tighter, with a +1
+// absolute grace so a 0→1 alloc change on a tiny benchmark does not
+// read as an infinite ratio. Benchmarks new in the current run pass
+// (there is nothing to compare against); benchmarks missing from the
+// current run fail — a silently dropped benchmark is how a gate rots.
+
+// regression is one gate violation.
+type regression struct {
+	Benchmark string  // package-qualified name
+	Metric    string  // "ns/op", "allocs/op", or "missing"
+	Old, New  float64 // measured values (0 for "missing")
+	Limit     float64 // the threshold New had to stay under
+}
+
+func (r regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline, missing from new run", r.Benchmark)
+	}
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (limit %.6g, +%.1f%%)",
+		r.Benchmark, r.Metric, r.Old, r.New, r.Limit, (r.New/r.Old-1)*100)
+}
+
+func benchKey(b Benchmark) string {
+	if b.Package == "" {
+		return b.Name
+	}
+	return b.Package + "." + b.Name
+}
+
+// compareSummaries gates newSum against oldSum and returns every
+// violation, sorted by benchmark then metric for deterministic output.
+func compareSummaries(oldSum, newSum *Summary, nsTol, allocTol float64) []regression {
+	byKey := make(map[string]Benchmark, len(newSum.Benchmarks))
+	for _, b := range newSum.Benchmarks {
+		byKey[benchKey(b)] = b
+	}
+	var regs []regression
+	for _, old := range oldSum.Benchmarks {
+		key := benchKey(old)
+		cur, ok := byKey[key]
+		if !ok {
+			regs = append(regs, regression{Benchmark: key, Metric: "missing"})
+			continue
+		}
+		if old.NsPerOp > 0 {
+			limit := old.NsPerOp * (1 + nsTol)
+			if cur.NsPerOp > limit {
+				regs = append(regs, regression{key, "ns/op", old.NsPerOp, cur.NsPerOp, limit})
+			}
+		}
+		// allocs/op: fractional tolerance plus one whole allocation of
+		// absolute grace (so tiny baselines aren't gated on ±1).
+		allocLimit := old.AllocsPerOp*(1+allocTol) + 1
+		if cur.AllocsPerOp > allocLimit {
+			regs = append(regs, regression{key, "allocs/op", old.AllocsPerOp, cur.AllocsPerOp, allocLimit})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Benchmark != regs[j].Benchmark {
+			return regs[i].Benchmark < regs[j].Benchmark
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+func readSummary(path string) (*Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in summary", path)
+	}
+	return &sum, nil
+}
+
+// runCompare loads both summaries, prints every violation to stderr,
+// and exits 1 if there are any.
+func runCompare(oldPath, newPath string, nsTol, allocTol float64) {
+	oldSum, err := readSummary(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSum, err := readSummary(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	regs := compareSummaries(oldSum, newSum, nsTol, allocTol)
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) against %s (tolerance ns/op +%.0f%%, allocs/op +%.0f%% +1)\n",
+			len(regs), oldPath, nsTol*100, allocTol*100)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within tolerance of %s\n",
+		len(oldSum.Benchmarks), oldPath)
+}

@@ -14,8 +14,14 @@
 // benchjson fails (non-zero exit) only on parse problems — a result
 // line it cannot decode, no benchmarks at all, or a package-level test
 // failure in the stream — never on the numbers themselves: regression
-// gating is a later stage's job; this stage only guarantees the
+// gating is the -compare mode's job; this stage only guarantees the
 // trajectory data exists and is well-formed.
+//
+// With -compare, benchjson is the gate instead: it reads two summaries
+// it previously wrote and exits non-zero when the new run regressed
+// beyond tolerance (see compare.go):
+//
+//	benchjson -compare BENCH_5.json BENCH_6.json -tolerance 0.20
 package main
 
 import (
@@ -198,7 +204,30 @@ func parse(r io.Reader) (*Summary, error) {
 
 func main() {
 	out := flag.String("out", "", "write the summary here (default stdout)")
+	compare := flag.String("compare", "", "baseline summary JSON; gate the new summary (positional arg) against it")
+	tol := flag.Float64("tolerance", 0.20, "ns/op regression tolerance as a fraction of baseline (0.20 = +20%)")
+	allocTol := flag.Float64("alloc-tolerance", 0.0, "allocs/op regression tolerance as a fraction of baseline (+1 alloc absolute grace)")
 	flag.Parse()
+	args := flag.Args()
+	// flag stops at the first positional, so the documented shape
+	// `-compare old.json new.json -tolerance 0.20` leaves trailing flags
+	// in Args; re-parse everything after the one expected positional.
+	if len(args) > 1 {
+		rest := args[1:]
+		args = args[:1]
+		flag.CommandLine.Parse(rest)
+	}
+
+	if *compare != "" {
+		if len(args) != 1 {
+			fatal(fmt.Errorf("usage: benchjson -compare OLD.json NEW.json [-tolerance F] [-alloc-tolerance F]"))
+		}
+		runCompare(*compare, args[0], *tol, *allocTol)
+		return
+	}
+	if len(args) != 0 {
+		fatal(fmt.Errorf("unexpected arguments %v (summaries are read from stdin; did you mean -compare?)", args))
+	}
 
 	sum, err := parse(os.Stdin)
 	if err != nil {

@@ -62,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -138,38 +139,94 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
-// dispatchEventPrinter renders supervisor events for the terminal.
-// Lifecycle events always print; per-session progress only with
-// -progress (a large campaign completes thousands of sessions).
-func dispatchEventPrinter(shards int, progress bool) func(veritas.DispatchEvent) {
-	return func(e veritas.DispatchEvent) {
-		switch e.Type {
-		case veritas.DispatchStart:
-			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker started (pid %d, attempt %d)\n", e.Shard, shards, e.PID, e.Attempt+1)
-		case veritas.DispatchProgress:
-			if progress {
-				fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: %d/%d sessions\n", e.Shard, shards, e.Done, e.Total)
-			}
-		case veritas.DispatchLine:
-			fmt.Fprintf(os.Stderr, "fleet: shard %d [%s] %s\n", e.Shard, e.Stream, e.Line)
-		case veritas.DispatchExit:
-			if e.Err != nil {
-				fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker failed: %v\n", e.Shard, shards, e.Err)
-			}
-		case veritas.DispatchRestart:
-			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: restarting (attempt %d) in %v\n", e.Shard, shards, e.Attempt+1, e.Delay)
-		case veritas.DispatchFold:
-			fmt.Fprintf(os.Stderr, "fleet: folded %d sessions from %d shard store(s)\n", e.Done, shards)
-		}
+// fleetPrinter renders supervisor events for the terminal. Lifecycle
+// events always print. Per-session progress lines are verbose-only
+// (-progress; a large campaign completes thousands of sessions) — but
+// even without it, progress events fold into a one-line fleet summary
+// (done/total per shard, restarts) reprinted at most every two
+// seconds, so a long campaign is never silent between lifecycle
+// events. The supervisor serializes event callbacks, so the printer
+// needs no locking.
+type fleetPrinter struct {
+	shards     int
+	verbose    bool
+	done       []int
+	total      []int
+	restarts   int
+	lastSum    time.Time
+	summarized bool
+}
+
+func newFleetPrinter(shards int, verbose bool) *fleetPrinter {
+	return &fleetPrinter{
+		shards:  shards,
+		verbose: verbose,
+		done:    make([]int, shards),
+		total:   make([]int, shards),
 	}
+}
+
+func (p *fleetPrinter) handle(e veritas.DispatchEvent) {
+	switch e.Type {
+	case veritas.DispatchStart:
+		fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker started (pid %d, attempt %d)\n", e.Shard, p.shards, e.PID, e.Attempt+1)
+	case veritas.DispatchProgress:
+		if e.Shard >= 0 && e.Shard < p.shards {
+			p.done[e.Shard], p.total[e.Shard] = e.Done, e.Total
+		}
+		if p.verbose {
+			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: %d/%d sessions\n", e.Shard, p.shards, e.Done, e.Total)
+		} else {
+			p.summary(false)
+		}
+	case veritas.DispatchTelemetry:
+		// Worker metrics snapshots feed the -status listener; nothing
+		// to print.
+	case veritas.DispatchLine:
+		fmt.Fprintf(os.Stderr, "fleet: shard %d [%s] %s\n", e.Shard, e.Stream, e.Line)
+	case veritas.DispatchExit:
+		if e.Err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker failed: %v\n", e.Shard, p.shards, e.Err)
+		}
+	case veritas.DispatchRestart:
+		p.restarts++
+		fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: restarting (attempt %d) in %v\n", e.Shard, p.shards, e.Attempt+1, e.Delay)
+	case veritas.DispatchFold:
+		if !p.verbose && p.summarized {
+			p.summary(true) // close the progress story before the fold line
+		}
+		fmt.Fprintf(os.Stderr, "fleet: folded %d sessions from %d shard store(s)\n", e.Done, p.shards)
+	}
+}
+
+// summary prints the one-line fleet overview, rate-limited unless
+// forced.
+func (p *fleetPrinter) summary(force bool) {
+	if !force && time.Since(p.lastSum) < 2*time.Second {
+		return
+	}
+	p.lastSum = time.Now()
+	p.summarized = true
+	done, total := 0, 0
+	parts := make([]string, p.shards)
+	for i := range p.done {
+		done += p.done[i]
+		total += p.total[i]
+		parts[i] = fmt.Sprintf("%d:%d/%d", i, p.done[i], p.total[i])
+	}
+	fmt.Fprintf(os.Stderr, "fleet: %d/%d sessions [shard %s] restarts %d\n",
+		done, total, strings.Join(parts, " "), p.restarts)
 }
 
 // dispatchRun runs the -dispatch path: supervise n workers, fold,
 // report, and optionally serve the folded corpus.
-func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr string, progress bool) error {
+func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr, statusAddr string, progress bool) error {
 	opts := append(o.campaignOptions(),
 		veritas.WithDispatchRestarts(restarts),
-		veritas.WithDispatchEvents(dispatchEventPrinter(n, progress)))
+		veritas.WithDispatchEvents(newFleetPrinter(n, progress).handle))
+	if statusAddr != "" {
+		opts = append(opts, veritas.WithDispatchStatus(statusAddr))
+	}
 	c, err := veritas.NewCampaign(opts...)
 	if err != nil {
 		return err
@@ -185,6 +242,9 @@ func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr stri
 	}
 	fmt.Fprintf(os.Stderr, "fleet: dispatching %d sessions x %d arms across %d shard workers\n",
 		len(corpus), len(arms), n)
+	if statusAddr != "" {
+		fmt.Fprintf(os.Stderr, "fleet: status listener on %s (GET /v1/status, /metrics)\n", statusAddr)
+	}
 	res, err := c.Dispatch(ctx, n)
 	if err != nil {
 		return err
@@ -261,7 +321,10 @@ func main() {
 	dispatchN := flag.Int("dispatch", 0, "supervise n local shard worker processes, fold their stores into -store, and report")
 	restarts := flag.Int("restarts", 2, "per-shard crash-restart budget under -dispatch")
 	serveAddr := flag.String("serve", "", "with -dispatch: serve the folded corpus on this address after the campaign")
+	statusAddr := flag.String("status", "", "with -dispatch: serve the live fleet status API (GET /v1/status, /metrics) on this address while the campaign runs")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	startPprof(*pprofAddr)
 
 	// The list-valued flags feed every run shape (normal, -shard,
 	// -dispatch); parse them once. The -fold path rejects them by flag
@@ -305,13 +368,16 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := dispatchRun(ctx, o, *dispatchN, *restarts, *serveAddr, *progress); err != nil {
+		if err := dispatchRun(ctx, o, *dispatchN, *restarts, *serveAddr, *statusAddr, *progress); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *serveAddr != "" {
 		fatal(fmt.Errorf("-serve requires -dispatch (use cmd/serve for a standalone query server)"))
+	}
+	if *statusAddr != "" {
+		fatal(fmt.Errorf("-status requires -dispatch (there is no supervisor to report on; cmd/serve exposes /v1/status for a store)"))
 	}
 	// -restarts configures the dispatch supervisor; without -dispatch it
 	// would be silently ignored, which reads like it was honored.
@@ -330,7 +396,8 @@ func main() {
 		// silently ignored, which reads like it was honored. Refuse.
 		var stray []string
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name != "fold" && f.Name != "store" {
+			// -pprof is pure observability; it cannot shape the fold.
+			if f.Name != "fold" && f.Name != "store" && f.Name != "pprof" {
 				stray = append(stray, "-"+f.Name)
 			}
 		})
@@ -451,6 +518,20 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// startPprof serves the net/http/pprof handlers (registered on the
+// default mux by the blank import) on addr. Opt-in: profiling
+// endpoints must never listen unless asked for.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet: pprof:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

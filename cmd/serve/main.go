@@ -14,6 +14,8 @@
 //	                              in-RAM aggregator's report for the corpus),
 //	                              with a store-generation ETag; conditional
 //	                              requests answer 304 Not Modified
+//	GET /v1/status                store + telemetry snapshot as JSON
+//	GET /metrics                  telemetry in Prometheus text format
 //
 // The store may be a live campaign's, a single shard's (fleet -shard),
 // or a folded corpus (fleet -fold): a folded store serves the exact
@@ -33,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,8 +48,10 @@ func main() {
 		dir   = flag.String("store", "", "store directory to serve (required)")
 		addr  = flag.String("addr", ":8077", "listen address")
 		cache = flag.Int("cache", 0, "read-cache entries (0 = default 256, negative disables)")
+		pprof = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	startPprof(*pprof)
 	if *dir == "" {
 		fatal(fmt.Errorf("-store is required"))
 	}
@@ -74,6 +79,20 @@ func main() {
 	if err := c.Serve(ctx, *addr); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
+}
+
+// startPprof serves the net/http/pprof handlers (registered on the
+// default mux by the blank import) on addr. Opt-in: profiling
+// endpoints must never listen unless asked for.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: pprof:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

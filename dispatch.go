@@ -26,6 +26,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -58,6 +60,10 @@ const (
 	DispatchExit     = dispatch.EventExit
 	DispatchRestart  = dispatch.EventRestart
 	DispatchFold     = dispatch.EventFold
+	// DispatchTelemetry events carry a worker's metrics snapshot
+	// (Event.Telemetry); the supervisor's status tracker merges the
+	// latest per shard into the fleet view WithDispatchStatus serves.
+	DispatchTelemetry = dispatch.EventTelemetry
 )
 
 // dispatchWorkerEnv carries the worker spec to a re-exec'd child; its
@@ -148,6 +154,7 @@ type workerSpec struct {
 	Buffers   []float64 `json:"buffers,omitempty"`
 	Workers   int       `json:"workers,omitempty"`
 	NoCache   bool      `json:"nocache,omitempty"`
+	NoTelem   bool      `json:"notelemetry,omitempty"`
 	Shard     int       `json:"shard"`
 	Of        int       `json:"of"`
 	Store     string    `json:"store"`
@@ -188,6 +195,9 @@ func (s workerSpec) options() []CampaignOption {
 	}
 	if s.NoCache {
 		opts = append(opts, WithoutMemoization())
+	}
+	if s.NoTelem {
+		opts = append(opts, WithoutTelemetry())
 	}
 	return opts
 }
@@ -266,6 +276,13 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 		restarts = o.dispatchRestarts
 	}
 
+	// The status tracker folds the event stream into the queryable
+	// fleet view. It always runs (Handle is a few map updates) so
+	// WithDispatchEvents consumers and the status listener see one
+	// consistent picture; the listener itself is opt-in.
+	tracker := dispatch.NewStatus(n, c.reg)
+	userEvents := o.dispatchEvents
+
 	cfg := dispatch.Config{
 		Shards: n,
 		Dir:    dir,
@@ -275,7 +292,12 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 		Fingerprints: c.fingerprints(),
 		MaxRestarts:  restarts,
 		Backoff:      o.dispatchBackoff,
-		OnEvent:      o.dispatchEvents,
+		OnEvent: func(e DispatchEvent) {
+			tracker.Handle(e)
+			if userEvents != nil {
+				userEvents(e)
+			}
+		},
 		Command: func(w dispatch.Worker) (*exec.Cmd, error) {
 			spec := workerSpec{
 				Scenarios: o.scenarios,
@@ -288,6 +310,7 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 				Buffers:   o.buffers,
 				Workers:   workers,
 				NoCache:   o.disableCache,
+				NoTelem:   o.noTelemetry,
 				Shard:     w.Shard,
 				Of:        w.Shards,
 				Store:     w.StoreDir,
@@ -300,6 +323,15 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 			cmd.Env = append(os.Environ(), dispatchWorkerEnv+"="+string(b))
 			return cmd, nil
 		},
+	}
+	if o.dispatchStatus != "" {
+		ln, err := net.Listen("tcp", o.dispatchStatus)
+		if err != nil {
+			return nil, fmt.Errorf("veritas: dispatch status listener: %w", err)
+		}
+		srv := &http.Server{Handler: tracker.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 	return dispatch.Run(ctx, cfg)
 }
@@ -373,6 +405,48 @@ func dispatchWorker(raw string, stdout, stderr *os.File) int {
 		return fail(err)
 	}
 	defer c.Close()
+
+	// Telemetry protocol: the worker streams registry snapshots up the
+	// same NDJSON channel so the supervisor's status listener can serve
+	// a merged fleet view of engine/store metrics it could never observe
+	// from outside the process. Snapshots are cumulative; the supervisor
+	// keeps the latest per shard.
+	if !spec.NoTelem {
+		emitTelemetry := func() {
+			snap := c.Telemetry()
+			mu.Lock()
+			defer mu.Unlock()
+			enc.Encode(struct {
+				Type     string            `json:"type"`
+				Shard    int               `json:"shard"`
+				Snapshot TelemetrySnapshot `json:"snapshot"`
+			}{"telemetry", spec.Shard, snap})
+		}
+		stopTick := make(chan struct{})
+		var tickWg sync.WaitGroup
+		tickWg.Add(1)
+		go func() {
+			defer tickWg.Done()
+			t := time.NewTicker(250 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					emitTelemetry()
+				case <-stopTick:
+					return
+				}
+			}
+		}()
+		// The final flush runs on every exit path, so even a shard that
+		// finishes inside one tick reports its metrics once.
+		defer func() {
+			close(stopTick)
+			tickWg.Wait()
+			emitTelemetry()
+		}()
+	}
+
 	st, err := c.Store()
 	if err != nil {
 		return fail(err)

@@ -115,4 +115,18 @@ func main() {
 		log.Fatal("dispatched report differs from the single-process report")
 	}
 	fmt.Printf("dispatched report is byte-identical to the single-process report (%d bytes)\n", len(dispJSON))
+
+	// The supervisor's telemetry snapshot carries the dispatch-side
+	// view of the run it just babysat: per-shard progress gauges, the
+	// restart counter, worker exit outcomes. (A live fleet is usually
+	// watched over HTTP instead — WithDispatchStatus(addr) serves
+	// /v1/status and /metrics while the dispatch runs.)
+	snap := c.Telemetry()
+	fmt.Printf("telemetry: restarts=%d", snap.Counters["veritas_dispatch_restarts_total"])
+	for i := 0; i < shards; i++ {
+		fmt.Printf(" shard%d=%.0f/%.0f", i,
+			snap.Gauges[fmt.Sprintf("veritas_dispatch_shard_sessions_done{shard=%q}", fmt.Sprint(i))],
+			snap.Gauges[fmt.Sprintf("veritas_dispatch_shard_sessions{shard=%q}", fmt.Sprint(i))])
+	}
+	fmt.Println()
 }

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"veritas/internal/store"
+	"veritas/internal/telemetry"
 )
 
 // Defaults for the restart policy and shutdown grace.
@@ -158,6 +159,11 @@ const (
 	// EventFold: the shard stores were folded; Done is the session
 	// count of the folded corpus.
 	EventFold EventType = "fold"
+	// EventTelemetry: a worker streamed a telemetry snapshot up the
+	// protocol (Telemetry set). Snapshots are cumulative per attempt;
+	// a Status tracker merges the latest one per shard into the
+	// supervisor's fleet view.
+	EventTelemetry EventType = "telemetry"
 )
 
 // Event is one entry of the supervisor's merged event stream.
@@ -177,6 +183,8 @@ type Event struct {
 	Delay time.Duration
 	// Err is the worker's exit error (exit events of crashed workers).
 	Err error
+	// Telemetry is the worker's metrics snapshot (telemetry events).
+	Telemetry *telemetry.Snapshot
 }
 
 // Result summarizes a completed dispatch.
@@ -464,13 +472,20 @@ func scanStdout(r io.Reader, w Worker, pid int, emit func(Event)) {
 	for sc.Scan() {
 		line := sc.Text()
 		var msg struct {
-			Type  string `json:"type"`
-			Done  int    `json:"done"`
-			Total int    `json:"total"`
+			Type     string              `json:"type"`
+			Done     int                 `json:"done"`
+			Total    int                 `json:"total"`
+			Snapshot *telemetry.Snapshot `json:"snapshot"`
 		}
-		if len(line) > 0 && line[0] == '{' && json.Unmarshal([]byte(line), &msg) == nil && msg.Type == "progress" {
-			emit(Event{Type: EventProgress, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Done: msg.Done, Total: msg.Total})
-			continue
+		if len(line) > 0 && line[0] == '{' && json.Unmarshal([]byte(line), &msg) == nil {
+			switch {
+			case msg.Type == "progress":
+				emit(Event{Type: EventProgress, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Done: msg.Done, Total: msg.Total})
+				continue
+			case msg.Type == "telemetry" && msg.Snapshot != nil:
+				emit(Event{Type: EventTelemetry, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Telemetry: msg.Snapshot})
+				continue
+			}
 		}
 		emit(Event{Type: EventLine, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Line: line, Stream: "stdout"})
 	}

@@ -1,0 +1,212 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"veritas/internal/telemetry"
+)
+
+// Status folds the supervisor's event stream into a queryable fleet
+// view: per-shard progress, restart and exit accounting, and the latest
+// telemetry snapshot each worker streamed up the protocol. Feed every
+// Event to Handle (chain it in front of any other Config.OnEvent
+// consumer) and serve Handler on the dispatcher's status listener:
+//
+//	GET /v1/status  per-shard progress + merged telemetry, as JSON
+//	GET /metrics    supervisor registry merged with every worker's
+//	                latest snapshot, in Prometheus text format
+//
+// The merged /metrics view is what makes a dispatched campaign
+// observable from one scrape target: engine stage histograms and store
+// counters recorded *inside* the worker processes are summed across
+// shards and exposed next to the supervisor's own shard gauges.
+type Status struct {
+	mu     sync.Mutex
+	start  time.Time
+	shards []ShardStatus
+	snaps  []telemetry.Snapshot
+	total  int // restarts across all shards
+	folded int
+
+	reg *telemetry.Registry
+	// per-shard handles (nil without a registry; nil metrics no-op)
+	gDone, gTotal, gBackoff []*telemetry.Gauge
+	cRestarts               *telemetry.Counter
+}
+
+// ShardStatus is one shard's slot in the fleet view.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// State is "pending" (never started), "running", "backoff"
+	// (crashed, awaiting relaunch), "done", or "crashed" (exited
+	// non-zero; babysit decides between backoff and permanent failure).
+	State string `json:"state"`
+	PID   int    `json:"pid,omitempty"`
+	// Attempt is 1-based (the protocol's Worker.Attempt is 0-based),
+	// matching the supervisor's "worker started (attempt N)" log lines.
+	Attempt  int `json:"attempt"`
+	Done     int `json:"done"`
+	Total    int `json:"total"`
+	Restarts int `json:"restarts"`
+	// LastError is the most recent exit error (crashed workers).
+	LastError string `json:"lastError,omitempty"`
+}
+
+// StatusSnapshot is a point-in-time capture of the fleet view.
+type StatusSnapshot struct {
+	Shards   []ShardStatus `json:"shards"`
+	Done     int           `json:"done"`
+	Total    int           `json:"total"`
+	Restarts int           `json:"restarts"`
+	Folded   int           `json:"folded,omitempty"`
+	// ElapsedSeconds is wall-clock time since the tracker was built
+	// (the supervisor builds it just before Run).
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	// Telemetry is the merged fleet registry: the supervisor's own
+	// metrics summed with every shard's latest worker snapshot.
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// NewStatus builds a tracker for a dispatch of the given shard count.
+// reg, which may be nil, is the supervisor-side registry: the tracker
+// maintains per-shard progress gauges and a restart counter in it, and
+// merges it with worker snapshots when serving.
+func NewStatus(shards int, reg *telemetry.Registry) *Status {
+	st := &Status{
+		start:  time.Now(),
+		shards: make([]ShardStatus, shards),
+		snaps:  make([]telemetry.Snapshot, shards),
+		reg:    reg,
+	}
+	for i := range st.shards {
+		st.shards[i] = ShardStatus{Shard: i, State: "pending"}
+	}
+	if reg != nil {
+		st.gDone = make([]*telemetry.Gauge, shards)
+		st.gTotal = make([]*telemetry.Gauge, shards)
+		st.gBackoff = make([]*telemetry.Gauge, shards)
+		for i := 0; i < shards; i++ {
+			st.gDone[i] = reg.Gauge(fmt.Sprintf("veritas_dispatch_shard_sessions_done{shard=%q}", fmt.Sprint(i)))
+			st.gTotal[i] = reg.Gauge(fmt.Sprintf("veritas_dispatch_shard_sessions{shard=%q}", fmt.Sprint(i)))
+			st.gBackoff[i] = reg.Gauge(fmt.Sprintf("veritas_dispatch_shard_backoff{shard=%q}", fmt.Sprint(i)))
+		}
+		st.cRestarts = reg.Counter("veritas_dispatch_restarts_total")
+	}
+	return st
+}
+
+// Handle folds one supervisor event into the view. Config.OnEvent
+// serializes its calls, so Handle contends only with snapshot readers.
+func (st *Status) Handle(e Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e.Type == EventFold {
+		st.folded = e.Done
+		return
+	}
+	if e.Shard < 0 || e.Shard >= len(st.shards) {
+		return
+	}
+	s := &st.shards[e.Shard]
+	switch e.Type {
+	case EventStart:
+		s.State = "running"
+		s.PID = e.PID
+		s.Attempt = e.Attempt + 1
+		st.backoffGauge(e.Shard, 0)
+	case EventProgress:
+		s.Done, s.Total = e.Done, e.Total
+		if st.gDone != nil {
+			st.gDone[e.Shard].Set(float64(e.Done))
+			st.gTotal[e.Shard].Set(float64(e.Total))
+		}
+	case EventExit:
+		if e.Err == nil {
+			s.State = "done"
+			s.LastError = ""
+		} else {
+			s.State = "crashed"
+			s.LastError = e.Err.Error()
+		}
+		st.exitCounter(e.Shard, e.Err == nil)
+	case EventRestart:
+		s.State = "backoff"
+		s.Restarts++
+		st.total++
+		st.cRestarts.Inc()
+		st.backoffGauge(e.Shard, e.Delay.Seconds())
+	case EventTelemetry:
+		if e.Telemetry != nil {
+			st.snaps[e.Shard] = *e.Telemetry
+		}
+	}
+}
+
+// backoffGauge publishes the shard's current restart backoff in
+// seconds (0 once it is running again). Caller holds mu.
+func (st *Status) backoffGauge(shard int, secs float64) {
+	if st.gBackoff != nil {
+		st.gBackoff[shard].Set(secs)
+	}
+}
+
+// exitCounter counts worker exits by outcome. Caller holds mu.
+func (st *Status) exitCounter(shard int, ok bool) {
+	if st.reg == nil {
+		return
+	}
+	outcome := "crash"
+	if ok {
+		outcome = "ok"
+	}
+	st.reg.Counter(fmt.Sprintf("veritas_dispatch_worker_exits_total{shard=%q,outcome=%q}", fmt.Sprint(shard), outcome)).Inc()
+}
+
+// Snapshot captures the current fleet view.
+func (st *Status) Snapshot() StatusSnapshot {
+	// The supervisor registry snapshot is taken outside st.mu: callback
+	// metrics may take arbitrary locks.
+	merged := st.reg.Snapshot()
+	st.mu.Lock()
+	out := StatusSnapshot{
+		Shards:         append([]ShardStatus(nil), st.shards...),
+		Restarts:       st.total,
+		Folded:         st.folded,
+		ElapsedSeconds: time.Since(st.start).Seconds(),
+	}
+	for _, s := range st.shards {
+		out.Done += s.Done
+		out.Total += s.Total
+	}
+	snaps := append([]telemetry.Snapshot(nil), st.snaps...)
+	st.mu.Unlock()
+	for _, snap := range snaps {
+		merged = merged.Merge(snap)
+	}
+	out.Telemetry = merged
+	return out
+}
+
+// Handler serves the fleet view over HTTP: /v1/status (JSON) and
+// /metrics (Prometheus text, the merged fleet registry).
+func (st *Status) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		body, err := json.Marshal(st.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		st.Snapshot().Telemetry.WritePrometheus(w)
+	})
+	return mux
+}

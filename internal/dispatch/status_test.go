@@ -1,0 +1,124 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"veritas/internal/telemetry"
+)
+
+func TestStatusTracksShardLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStatus(2, reg)
+
+	st.Handle(Event{Type: EventStart, Shard: 0, Attempt: 0, PID: 41})
+	st.Handle(Event{Type: EventStart, Shard: 1, Attempt: 0, PID: 42})
+	st.Handle(Event{Type: EventProgress, Shard: 0, Done: 3, Total: 6})
+	st.Handle(Event{Type: EventProgress, Shard: 1, Done: 2, Total: 6})
+	st.Handle(Event{Type: EventExit, Shard: 1, Err: errors.New("signal: killed")})
+	st.Handle(Event{Type: EventRestart, Shard: 1, Attempt: 1, Delay: 500 * time.Millisecond})
+	st.Handle(Event{Type: EventTelemetry, Shard: 0, Telemetry: &telemetry.Snapshot{
+		Counters: map[string]uint64{"veritas_engine_sessions_completed_total": 3},
+	}})
+	// Events for shards outside the fleet must be ignored, not panic.
+	st.Handle(Event{Type: EventProgress, Shard: 9, Done: 1, Total: 1})
+
+	snap := st.Snapshot()
+	if snap.Done != 5 || snap.Total != 12 || snap.Restarts != 1 {
+		t.Errorf("fleet totals = %d/%d restarts %d, want 5/12 restarts 1",
+			snap.Done, snap.Total, snap.Restarts)
+	}
+	s0, s1 := snap.Shards[0], snap.Shards[1]
+	if s0.State != "running" || s0.PID != 41 || s0.Attempt != 1 || s0.Done != 3 {
+		t.Errorf("shard 0 = %+v", s0)
+	}
+	if s1.State != "backoff" || s1.Restarts != 1 || s1.LastError != "signal: killed" {
+		t.Errorf("shard 1 = %+v", s1)
+	}
+
+	// The merged telemetry view: supervisor gauges plus the worker's
+	// streamed snapshot.
+	tel := snap.Telemetry
+	if tel.Counters["veritas_engine_sessions_completed_total"] != 3 {
+		t.Errorf("worker snapshot not merged: %v", tel.Counters)
+	}
+	if tel.Gauges[`veritas_dispatch_shard_sessions_done{shard="0"}`] != 3 {
+		t.Errorf("supervisor gauges missing: %v", tel.Gauges)
+	}
+	if tel.Gauges[`veritas_dispatch_shard_backoff{shard="1"}`] != 0.5 {
+		t.Errorf("backoff gauge = %v, want 0.5", tel.Gauges[`veritas_dispatch_shard_backoff{shard="1"}`])
+	}
+	if tel.Counters["veritas_dispatch_restarts_total"] != 1 {
+		t.Errorf("restart counter = %v", tel.Counters["veritas_dispatch_restarts_total"])
+	}
+	if tel.Counters[`veritas_dispatch_worker_exits_total{shard="1",outcome="crash"}`] != 1 {
+		t.Errorf("exit counter missing: %v", tel.Counters)
+	}
+
+	// A later worker snapshot replaces the previous one (latest wins,
+	// no double counting).
+	st.Handle(Event{Type: EventTelemetry, Shard: 0, Telemetry: &telemetry.Snapshot{
+		Counters: map[string]uint64{"veritas_engine_sessions_completed_total": 5},
+	}})
+	if got := st.Snapshot().Telemetry.Counters["veritas_engine_sessions_completed_total"]; got != 5 {
+		t.Errorf("replacement snapshot merged to %d, want 5", got)
+	}
+}
+
+func TestStatusWithoutRegistry(t *testing.T) {
+	st := NewStatus(1, nil)
+	st.Handle(Event{Type: EventStart, Shard: 0, PID: 7})
+	st.Handle(Event{Type: EventProgress, Shard: 0, Done: 1, Total: 2})
+	st.Handle(Event{Type: EventExit, Shard: 0})
+	st.Handle(Event{Type: EventFold, Shard: -1, Done: 2})
+	snap := st.Snapshot()
+	if snap.Shards[0].State != "done" || snap.Done != 1 || snap.Folded != 2 {
+		t.Errorf("snapshot without registry = %+v", snap)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStatus(1, reg)
+	st.Handle(Event{Type: EventStart, Shard: 0, PID: 9})
+	st.Handle(Event{Type: EventProgress, Shard: 0, Done: 4, Total: 4})
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("status content type = %q", ct)
+	}
+	var snap StatusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done != 4 || len(snap.Shards) != 1 || snap.Shards[0].State != "running" {
+		t.Errorf("served snapshot = %+v", snap)
+	}
+
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `veritas_dispatch_shard_sessions_done{shard="0"} 4`) {
+		t.Errorf("metrics text missing shard gauge:\n%s", body)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"veritas/internal/netem"
 	"veritas/internal/player"
 	"veritas/internal/tcp"
+	"veritas/internal/telemetry"
 	"veritas/internal/trace"
 	"veritas/internal/video"
 )
@@ -104,6 +105,12 @@ type Config struct {
 	// bounds a streaming consumer's memory — nothing per-session is
 	// retained beyond the aggregator's compact rows.
 	DiscardResults bool
+	// Telemetry, when set, receives per-stage latency histograms, the
+	// session throughput counter and cache-traffic counters for the run
+	// (metric names veritas_engine_*). Recording is a few atomic adds
+	// per session and never feeds back into computation: results are
+	// byte-identical with and without a registry.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) workers() int {
@@ -299,6 +306,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 		}
 	}
 	powHits0, powMisses0 := mathx.SharedPowerStats()
+	em := newEngineMetrics(cfg.Telemetry)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -350,7 +358,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 					if !cfg.inShard(i) || cfg.Skip[specID(corpus[i], i)] {
 						continue
 					}
-					res, err := runOne(cfg, corpus[i], arms, i)
+					res, err := runOne(cfg, corpus[i], arms, i, em)
 					if err != nil {
 						fail(fmt.Errorf("engine: session %d (%s): %w", i, corpus[i].ID, err))
 						return
@@ -395,6 +403,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 	}
 
 	powHits, powMisses := mathx.SharedPowerStats()
+	em.powers(CacheStats{Hits: powHits - powHits0, Misses: powMisses - powMisses0})
 	return &Result{
 		Sessions: results,
 		Agg:      agg,
@@ -416,13 +425,16 @@ func specID(spec SessionSpec, idx int) string {
 }
 
 // runOne executes the full pipeline for one session. It is pure given
-// the spec and index, which is what makes fleet results independent of
-// worker count and scheduling.
-func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, error) {
+// the spec and index — em only observes durations and counts, never
+// steering computation — which is what makes fleet results independent
+// of worker count, scheduling, and telemetry.
+func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics) (SessionResult, error) {
 	res := SessionResult{Index: idx, ID: specID(spec, idx), Scenario: spec.Scenario}
+	sessStart := em.now()
 
 	log := spec.Log
 	if log == nil {
+		simStart := em.now()
 		vid := spec.Video
 		if vid == nil {
 			vid = video.MustSynthesize(video.DefaultConfig(1))
@@ -453,9 +465,11 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, e
 			return res, fmt.Errorf("setting A: %w", err)
 		}
 		res.SettingA = m
+		em.observe(em.simulate, simStart)
 	}
 	res.Log = log
 	if spec.SimulateOnly {
+		em.sessionDone(sessStart, res.Cache)
 		return res, nil
 	}
 
@@ -476,10 +490,12 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, e
 		// transition-power cache (see mathx.SharedPowers).
 		acfg.HMM.SharePowers = true
 	}
+	abductStart := em.now()
 	abd, err := abduction.Abduct(log, acfg)
 	if err != nil {
 		return res, fmt.Errorf("abduct: %w", err)
 	}
+	em.observe(em.abduct, abductStart)
 	if cache != nil {
 		res.Cache = cache.stats()
 		// The abduction's config keeps the estimator closure alive;
@@ -492,6 +508,7 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, e
 	}
 
 	for _, arm := range arms {
+		armStart := em.now()
 		out, err := abd.Counterfactual(arm.Setting)
 		if err != nil {
 			return res, fmt.Errorf("arm %s: %w", arm.Name, err)
@@ -506,10 +523,16 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int) (SessionResult, e
 			oc.HasTruth = true
 		}
 		res.Arms = append(res.Arms, oc)
+		em.observe(em.replay, armStart)
 	}
 
-	for _, q := range spec.Predict {
-		res.Predictions = append(res.Predictions, abd.PredictDownloadTime(q.StartSecs, q.TCP, q.SizeBytes))
+	if len(spec.Predict) > 0 {
+		predictStart := em.now()
+		for _, q := range spec.Predict {
+			res.Predictions = append(res.Predictions, abd.PredictDownloadTime(q.StartSecs, q.TCP, q.SizeBytes))
+		}
+		em.observe(em.predict, predictStart)
 	}
+	em.sessionDone(sessStart, res.Cache)
 	return res, nil
 }

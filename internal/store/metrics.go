@@ -1,0 +1,42 @@
+package store
+
+import "veritas/internal/telemetry"
+
+// storeMetrics holds the store's resolved metric handles. With no
+// registry every handle is nil and every record call is a no-op (the
+// telemetry package's nil-metric contract), so the append path carries
+// no "is telemetry on?" branches beyond gating its clock reads.
+type storeMetrics struct {
+	appends     *telemetry.Counter
+	appendBytes *telemetry.Counter
+	appendSec   *telemetry.Histogram
+	fsyncs      *telemetry.Counter
+	fsyncSec    *telemetry.Histogram
+	rotations   *telemetry.Counter
+	reads       *telemetry.Counter
+	segments    *telemetry.Gauge
+	recoveries  *telemetry.Counter
+	recoveredB  *telemetry.Counter
+	scLoads     *telemetry.Counter
+	scScans     *telemetry.Counter
+}
+
+func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
+	if reg == nil {
+		return storeMetrics{}
+	}
+	return storeMetrics{
+		appends:     reg.Counter("veritas_store_appends_total"),
+		appendBytes: reg.Counter("veritas_store_append_bytes_total"),
+		appendSec:   reg.Histogram("veritas_store_append_seconds"),
+		fsyncs:      reg.Counter("veritas_store_fsyncs_total"),
+		fsyncSec:    reg.Histogram("veritas_store_fsync_seconds"),
+		rotations:   reg.Counter("veritas_store_segment_rotations_total"),
+		reads:       reg.Counter("veritas_store_reads_total"),
+		segments:    reg.Gauge("veritas_store_segments"),
+		recoveries:  reg.Counter("veritas_store_recoveries_total"),
+		recoveredB:  reg.Counter("veritas_store_recovered_bytes_total"),
+		scLoads:     reg.Counter("veritas_store_sidecar_loads_total"),
+		scScans:     reg.Counter("veritas_store_sidecar_scans_total"),
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"veritas/internal/engine"
+	"veritas/internal/telemetry"
 )
 
 // ServeOptions configures the HTTP query handler.
@@ -16,6 +18,12 @@ type ServeOptions struct {
 	// CacheEntries bounds the in-process read cache of decoded session
 	// rows (default 256; negative disables caching).
 	CacheEntries int
+	// Telemetry is the registry /metrics and /v1/status expose —
+	// usually the campaign's, so engine and store metrics appear
+	// alongside the serving layer's own request counters and row-cache
+	// fold-ins. Nil gets a private registry: the endpoints then carry
+	// serve-side metrics only.
+	Telemetry *telemetry.Registry
 }
 
 func (o ServeOptions) cacheEntries() int {
@@ -39,6 +47,8 @@ func (o ServeOptions) cacheEntries() int {
 //	GET /v1/report[?scenario=]    aggregate report (same JSON as the in-RAM aggregator);
 //	                              carries a store-generation ETag and honors
 //	                              If-None-Match with 304 Not Modified
+//	GET /v1/status                store + telemetry snapshot as JSON
+//	GET /metrics                  the telemetry registry in Prometheus text format
 //
 // Hot sessions are served from a bounded LRU of decoded rows, and
 // aggregate reports are cached per scenario filter. The report cache is
@@ -51,6 +61,7 @@ type handler struct {
 	s    *Store
 	mux  *http.ServeMux
 	rows *rowCache
+	reg  *telemetry.Registry
 
 	mu      sync.Mutex
 	reports map[string]cachedReport
@@ -63,19 +74,67 @@ type cachedReport struct {
 
 // NewHandler builds the query handler over an open store.
 func NewHandler(s *Store, opt ServeOptions) http.Handler {
+	reg := opt.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	h := &handler{
 		s:       s,
 		rows:    newRowCache(opt.cacheEntries()),
+		reg:     reg,
 		reports: make(map[string]cachedReport),
 	}
+	// The row cache keeps its own counters (they predate telemetry);
+	// fold them in as callback metrics rather than double-counting.
+	reg.RegisterFunc("veritas_serve_row_cache_hits_total", telemetry.CounterFunc, func() float64 {
+		hits, _ := h.rows.stats()
+		return float64(hits)
+	})
+	reg.RegisterFunc("veritas_serve_row_cache_misses_total", telemetry.CounterFunc, func() float64 {
+		_, misses := h.rows.stats()
+		return float64(misses)
+	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", h.health)
-	mux.HandleFunc("GET /v1/sessions", h.sessions)
-	mux.HandleFunc("GET /v1/sessions/{id}", h.session)
-	mux.HandleFunc("GET /v1/scenarios", h.scenarios)
-	mux.HandleFunc("GET /v1/report", h.report)
+	h.route(mux, "GET /healthz", "/healthz", h.health)
+	h.route(mux, "GET /v1/sessions", "/v1/sessions", h.sessions)
+	h.route(mux, "GET /v1/sessions/{id}", "/v1/sessions/{id}", h.session)
+	h.route(mux, "GET /v1/scenarios", "/v1/scenarios", h.scenarios)
+	h.route(mux, "GET /v1/report", "/v1/report", h.report)
+	h.route(mux, "GET /v1/status", "/v1/status", h.status)
+	mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux = mux
 	return h
+}
+
+// route registers fn on the mux with a per-endpoint request counter and
+// latency histogram spliced in front. path is the label value (the mux
+// pattern minus its method).
+func (h *handler) route(mux *http.ServeMux, pattern, path string, fn http.HandlerFunc) {
+	reqs := h.reg.Counter(fmt.Sprintf("veritas_serve_requests_total{path=%q}", path))
+	lat := h.reg.Histogram(fmt.Sprintf("veritas_serve_request_seconds{path=%q}", path))
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		reqs.Inc()
+		fn(w, r)
+		lat.Since(t0)
+	})
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.reg.WritePrometheus(w)
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	hits, misses := h.rows.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":       h.s.Len(),
+		"scenarios":      len(h.s.Scenarios()),
+		"generation":     h.s.Generation(),
+		"recoveredBytes": h.s.Recovered(),
+		"cache":          map[string]uint64{"hits": hits, "misses": misses},
+		"telemetry":      h.reg.Snapshot(),
+	})
 }
 
 func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }

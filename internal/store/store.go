@@ -47,8 +47,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"veritas/internal/engine"
+	"veritas/internal/telemetry"
 )
 
 const (
@@ -79,6 +81,12 @@ type Options struct {
 	// torn tail is skipped in memory instead of truncated on disk (the
 	// serving layer must not mutate a store a campaign may still own).
 	ReadOnly bool
+	// Telemetry, when set, receives the store's operational metrics
+	// (names veritas_store_*): append/fsync counters and latency
+	// histograms, segment rotations, recovery events, sidecar loads
+	// versus scans, plus session-count and generation gauges evaluated
+	// at snapshot time.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) segmentBytes() int64 {
@@ -118,6 +126,7 @@ type Store struct {
 	sidecarLoads  int    // segments whose index came from a sidecar at Open
 	sidecarScans  int    // segments that needed a full frame scan at Open
 	closed        bool
+	met           storeMetrics
 }
 
 func segName(n int) string { return fmt.Sprintf("%s%05d%s", segPrefix, n, segSuffix) }
@@ -152,7 +161,7 @@ func Open(dir string, opt Options) (*Store, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	s := &Store{dir: dir, opt: opt, readers: make(map[int]*os.File)}
+	s := &Store{dir: dir, opt: opt, readers: make(map[int]*os.File), met: newStoreMetrics(opt.Telemetry)}
 	if !opt.ReadOnly {
 		// Single-writer discipline: two campaigns appending to one
 		// store would track offsets independently and corrupt each
@@ -210,6 +219,23 @@ func Open(dir string, opt Options) (*Store, error) {
 			// sidecar for it.
 			s.activeEntries = lastEntries
 		}
+	}
+	segs := len(nums)
+	if segs == 0 && !opt.ReadOnly {
+		segs = 1 // the fresh segment created above
+	}
+	s.met.segments.Set(float64(segs))
+	if s.recovered > 0 {
+		s.met.recoveries.Inc()
+		s.met.recoveredB.Add(uint64(s.recovered))
+	}
+	s.met.scLoads.Add(uint64(s.sidecarLoads))
+	s.met.scScans.Add(uint64(s.sidecarScans))
+	if reg := opt.Telemetry; reg != nil {
+		// Evaluated at snapshot time, outside the registry lock, so
+		// taking s.mu inside is safe. Both keep working after Close.
+		reg.RegisterFunc("veritas_store_sessions", telemetry.GaugeFunc, func() float64 { return float64(s.Len()) })
+		reg.RegisterFunc("veritas_store_generation", telemetry.GaugeFunc, func() float64 { return float64(s.Generation()) })
 	}
 	opened = true
 	return s, nil
@@ -443,6 +469,10 @@ func (s *Store) Append(row engine.SessionRow) error {
 	copy(frame[frameHdrLen+len(row.ID):], payload)
 	binary.LittleEndian.PutUint32(frame[8:12], crc32.ChecksumIEEE(frame[frameHdrLen:]))
 
+	var t0 time.Time
+	if s.met.appendSec != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -464,6 +494,9 @@ func (s *Store) Append(row engine.SessionRow) error {
 		if err := s.newSegment(s.activeNum + 1); err != nil {
 			return err
 		}
+		s.met.fsyncs.Inc()
+		s.met.rotations.Inc()
+		s.met.segments.Add(1)
 	}
 	off := s.activeLen
 	if _, err := s.active.Write(frame); err != nil {
@@ -471,6 +504,9 @@ func (s *Store) Append(row engine.SessionRow) error {
 	}
 	s.activeLen += int64(len(frame))
 	s.gen++
+	s.met.appends.Inc()
+	s.met.appendBytes.Add(uint64(len(frame)))
+	s.met.appendSec.Since(t0)
 	e := entry{
 		key: row.ID, scenario: row.Scenario, index: row.Index,
 		seg: s.activeNum, off: off,
@@ -503,7 +539,16 @@ func (s *Store) Sync() error {
 	if s.active == nil {
 		return nil
 	}
-	return s.active.Sync()
+	var t0 time.Time
+	if s.met.fsyncSec != nil {
+		t0 = time.Now()
+	}
+	if err := s.active.Sync(); err != nil {
+		return err
+	}
+	s.met.fsyncs.Inc()
+	s.met.fsyncSec.Since(t0)
+	return nil
 }
 
 // Close syncs and releases every file handle. The store is unusable
@@ -519,6 +564,8 @@ func (s *Store) Close() error {
 	if s.active != nil {
 		if err := s.active.Sync(); err != nil && first == nil {
 			first = err
+		} else if err == nil {
+			s.met.fsyncs.Inc()
 		}
 		if err := s.active.Close(); err != nil && first == nil {
 			first = err
@@ -743,6 +790,7 @@ func (s *Store) readRow(e entry) (engine.SessionRow, error) {
 	if err != nil {
 		return row, err
 	}
+	s.met.reads.Inc()
 	hdr := make([]byte, frameHdrLen)
 	if _, err := f.ReadAt(hdr, e.off); err != nil {
 		return row, fmt.Errorf("store: %s@%d: %w", segName(e.seg), e.off, err)

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a point-in-time capture of the registry in
+// the Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot as Prometheus text. Output is
+// deterministic: metrics sort by full name, the `# TYPE` header is
+// emitted once per base name (label variants of one metric share it),
+// and histogram buckets are cumulative with an explicit `+Inf` edge,
+// exactly as scrapers expect.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	typed := make(map[string]bool)
+	writeType := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		base, _ := splitName(name)
+		writeType(base, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, _ := splitName(name)
+		writeType(base, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		base, labels := splitName(name)
+		writeType(base, "histogram")
+		h := s.Histograms[name]
+		cum := uint64(0)
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, labels, le, cum)
+		}
+		if len(h.Counts) == 0 {
+			// A histogram merged from mismatched bounds may carry only
+			// count and sum; still expose the +Inf edge so the series
+			// stays a valid histogram.
+			fmt.Fprintf(&b, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, h.Count)
+		}
+		if labels == "" {
+			fmt.Fprintf(&b, "%s_sum %s\n", base, formatFloat(h.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", base, h.Count)
+		} else {
+			fmt.Fprintf(&b, "%s_sum{%s} %s\n", base, strings.TrimSuffix(labels, ","), formatFloat(h.Sum))
+			fmt.Fprintf(&b, "%s_count{%s} %d\n", base, strings.TrimSuffix(labels, ","), h.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitName splits a registry key into its base metric name and its
+// label body. The label body is returned ready for splicing before
+// another label: either empty or `k="v",` with a trailing comma.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	base = name[:i]
+	body := strings.TrimSuffix(name[i+1:], "}")
+	if body == "" {
+		return base, ""
+	}
+	return base, body + ","
+}
+
+// formatFloat renders a float the way Prometheus text expects: shortest
+// round-trip representation, no exponent for typical magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// sorted names, one # TYPE per base name shared across label variants,
+// cumulative buckets with a +Inf edge, and label splicing for the
+// histogram's le label.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`veritas_engine_sessions_completed_total`).Add(12)
+	r.Counter(`veritas_dispatch_worker_exits_total{shard="0",outcome="ok"}`).Inc()
+	r.Counter(`veritas_dispatch_worker_exits_total{shard="1",outcome="crash"}`).Inc()
+	r.Gauge(`veritas_store_segments`).Set(3)
+	h := r.HistogramBuckets(`veritas_engine_stage_seconds{stage="abduct"}`, []float64{0.01, 0.1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(500 * time.Millisecond)
+	plain := r.HistogramBuckets(`veritas_store_fsync_seconds`, []float64{0.001})
+	plain.Observe(500 * time.Microsecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE veritas_dispatch_worker_exits_total counter
+veritas_dispatch_worker_exits_total{shard="0",outcome="ok"} 1
+veritas_dispatch_worker_exits_total{shard="1",outcome="crash"} 1
+# TYPE veritas_engine_sessions_completed_total counter
+veritas_engine_sessions_completed_total 12
+# TYPE veritas_store_segments gauge
+veritas_store_segments 3
+# TYPE veritas_engine_stage_seconds histogram
+veritas_engine_stage_seconds_bucket{stage="abduct",le="0.01"} 1
+veritas_engine_stage_seconds_bucket{stage="abduct",le="0.1"} 2
+veritas_engine_stage_seconds_bucket{stage="abduct",le="+Inf"} 3
+veritas_engine_stage_seconds_sum{stage="abduct"} 0.555
+veritas_engine_stage_seconds_count{stage="abduct"} 3
+# TYPE veritas_store_fsync_seconds histogram
+veritas_store_fsync_seconds_bucket{le="0.001"} 1
+veritas_store_fsync_seconds_bucket{le="+Inf"} 1
+veritas_store_fsync_seconds_sum 0.0005
+veritas_store_fsync_seconds_count 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	cases := []struct{ in, base, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{a="b"}`, "x_total", `a="b",`},
+		{`x_total{a="b",c="d"}`, "x_total", `a="b",c="d",`},
+		{"empty{}", "empty", ""},
+	}
+	for _, c := range cases {
+		base, labels := splitName(c.in)
+		if base != c.base || labels != c.labels {
+			t.Errorf("splitName(%q) = (%q, %q), want (%q, %q)", c.in, base, labels, c.base, c.labels)
+		}
+	}
+}
