@@ -33,12 +33,23 @@ import (
 	"veritas/internal/mathx"
 	"veritas/internal/store"
 	"veritas/internal/telemetry"
+	"veritas/internal/tracing"
 )
 
 // TelemetrySnapshot is a point-in-time capture of a campaign's metrics
 // registry: plain data that serializes to JSON, merges additively, and
 // renders as Prometheus text (WritePrometheus). See Campaign.Telemetry.
 type TelemetrySnapshot = telemetry.Snapshot
+
+// Tracing data types re-exported for campaign callers.
+type (
+	// CampaignTrace is one tail-sampled session (or store/dispatch
+	// operation) trace: wall-clock anchor, duration, error, attributes,
+	// and nested spans. See Campaign.Trace.
+	CampaignTrace = tracing.Trace
+	// CampaignSpan is one timed stage inside a CampaignTrace.
+	CampaignSpan = tracing.Span
+)
 
 // Fleet data types re-exported for campaign callers.
 type (
@@ -140,6 +151,8 @@ type campaignOptions struct {
 
 	// Observability.
 	noTelemetry bool
+	noTracing   bool
+	traceKeep   int // 0 = tracing.DefaultKeep
 }
 
 // CampaignOption configures a Campaign; see the With* constructors.
@@ -475,6 +488,34 @@ func WithoutTelemetry() CampaignOption {
 	}
 }
 
+// WithTracing sizes the campaign's tail sampler: the tracer retains
+// the keep slowest successful session traces (plus every errored one,
+// ring-bounded) for Campaign.Trace and the serving layer's /v1/trace.
+// Tracing is on by default with keep = 32; this option only resizes
+// the sample.
+func WithTracing(keep int) CampaignOption {
+	return func(o *campaignOptions) error {
+		if keep <= 0 {
+			return fmt.Errorf("veritas: trace keep %d must be positive (use WithoutTracing to disable)", keep)
+		}
+		o.traceKeep = keep
+		return nil
+	}
+}
+
+// WithoutTracing disables the campaign's span tracer: no session,
+// store or dispatch traces are recorded, Trace returns nothing, and
+// /v1/trace serves an empty trace file. Tracing never affects results
+// either way — a determinism test pins reports byte-identical with it
+// on and off — so this exists for benchmarks isolating instrumentation
+// cost.
+func WithoutTracing() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.noTracing = true
+		return nil
+	}
+}
+
 // WithDispatchStatus serves the dispatcher's live status API on addr
 // for the duration of a Dispatch: GET /v1/status (per-shard progress,
 // restarts, merged telemetry as JSON) and GET /metrics (the supervisor
@@ -499,6 +540,7 @@ func WithDispatchStatus(addr string) CampaignOption {
 type Campaign struct {
 	opt campaignOptions
 	reg *telemetry.Registry // nil with WithoutTelemetry
+	trc *tracing.Tracer     // nil with WithoutTracing
 
 	mu      sync.Mutex
 	corpus  []FleetSpec
@@ -506,6 +548,9 @@ type Campaign struct {
 	st      *FleetStore
 	last    *FleetResult
 	running bool
+	// workerTraces holds each shard's last streamed notable-trace set
+	// after a Dispatch, so Trace keeps serving the fleet-wide view.
+	workerTraces [][]tracing.Trace
 }
 
 // NewCampaign builds a campaign from functional options and validates
@@ -536,7 +581,17 @@ func NewCampaign(opts ...CampaignOption) (*Campaign, error) {
 		(o.scenarios != nil || o.sessionsPer != 0 || o.deployedBuffer != 0 || o.newDeployedABR != nil) {
 		return nil, errors.New("veritas: WithCorpus replaces the scenario mix; drop WithScenarios/WithSessions/WithDeployedABR/WithDeployedBuffer")
 	}
+	if o.noTracing && o.traceKeep > 0 {
+		return nil, errors.New("veritas: WithTracing and WithoutTracing are mutually exclusive")
+	}
 	c := &Campaign{opt: o}
+	if !o.noTracing {
+		keep := o.traceKeep
+		if keep == 0 {
+			keep = tracing.DefaultKeep
+		}
+		c.trc = tracing.New(keep)
+	}
 	if !o.noTelemetry {
 		c.reg = telemetry.NewRegistry()
 		// The shared transition-power cache keeps process-global
@@ -563,6 +618,30 @@ func NewCampaign(opts ...CampaignOption) (*Campaign, error) {
 // is empty.
 func (c *Campaign) Telemetry() TelemetrySnapshot {
 	return c.reg.Snapshot()
+}
+
+// Trace returns the campaign's tail-sampled notable traces, slowest
+// first: the keep slowest successful sessions (see WithTracing) plus
+// every errored one, each with its nested stage spans. After a
+// Dispatch it is the fleet-wide view — the supervisor's own traces
+// merged with every worker's last streamed set. With WithoutTracing it
+// is empty.
+func (c *Campaign) Trace() []CampaignTrace {
+	c.mu.Lock()
+	workers := c.workerTraces
+	c.mu.Unlock()
+	sets := make([][]tracing.Trace, 0, 1+len(workers))
+	sets = append(sets, c.trc.Traces())
+	sets = append(sets, workers...)
+	return tracing.Merge(c.trc.Keep(), sets...)
+}
+
+// WriteTrace renders Trace as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing: one timeline row per
+// trace, stage spans nested inside. This is what `fleet -trace` writes
+// and what GET /v1/trace serves.
+func (c *Campaign) WriteTrace(w io.Writer) error {
+	return tracing.WriteChrome(w, c.Trace())
 }
 
 // corpusConfig maps the scenario-mix options onto the engine's corpus
@@ -737,6 +816,7 @@ func (c *Campaign) ensureStoreLocked() (*FleetStore, error) {
 		SegmentBytes: c.opt.segmentBytes,
 		ReadOnly:     c.opt.readOnly,
 		Telemetry:    c.reg,
+		Tracer:       c.trc,
 	}
 	var fps [][]byte
 	if !c.opt.readOnly {
@@ -815,6 +895,7 @@ func (c *Campaign) engineConfig() engine.Config {
 		OnResult:       c.opt.onResult,
 		OnProgress:     c.opt.onProgress,
 		Telemetry:      c.reg,
+		Tracer:         c.trc,
 	}
 }
 
@@ -1111,7 +1192,14 @@ func (c *Campaign) Handler() (http.Handler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return store.NewHandler(st, store.ServeOptions{CacheEntries: c.opt.readCache, Telemetry: c.reg}), nil
+	return store.NewHandler(st, store.ServeOptions{
+		CacheEntries: c.opt.readCache,
+		Telemetry:    c.reg,
+		Tracer:       c.trc,
+		// The campaign-merged view (own traces + any dispatched workers'
+		// streamed sets), not just the serve-local tracer's.
+		TraceSource: c.Trace,
+	}), nil
 }
 
 // Serve serves the campaign's store over HTTP on addr until ctx is

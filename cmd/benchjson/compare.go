@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"text/tabwriter"
 )
 
 // Compare mode turns benchjson from a recorder into a gate: given the
@@ -82,6 +84,72 @@ func compareSummaries(oldSum, newSum *Summary, nsTol, allocTol float64) []regres
 	return regs
 }
 
+// writeDeltaTable renders the full per-benchmark comparison — every
+// benchmark in either summary, not just the violations — so a CI log
+// answers "how much did things move?" even when the gate passes.
+// Columns: old/new ns/op with percent change, old/new allocs/op with
+// percent change, and a status ("ok", "REGRESSION", "missing" for
+// baseline benchmarks gone from the new run, "new" for benchmarks
+// without a baseline). Rows sort by package-qualified name.
+func writeDeltaTable(w io.Writer, oldSum, newSum *Summary, regs []regression) {
+	oldBy := make(map[string]Benchmark, len(oldSum.Benchmarks))
+	for _, b := range oldSum.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	newBy := make(map[string]Benchmark, len(newSum.Benchmarks))
+	for _, b := range newSum.Benchmarks {
+		newBy[benchKey(b)] = b
+	}
+	keys := make([]string, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	regressed := make(map[string]bool, len(regs))
+	missing := make(map[string]bool)
+	for _, r := range regs {
+		if r.Metric == "missing" {
+			missing[r.Benchmark] = true
+		} else {
+			regressed[r.Benchmark] = true
+		}
+	}
+	pct := func(old, cur float64) string {
+		if old == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%+.1f%%", (cur/old-1)*100)
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs/op\tnew allocs/op\tdelta\tstatus")
+	for _, k := range keys {
+		old, haveOld := oldBy[k]
+		cur, haveNew := newBy[k]
+		switch {
+		case !haveNew:
+			fmt.Fprintf(tw, "%s\t%.6g\t-\t-\t%.6g\t-\t-\tmissing\n", k, old.NsPerOp, old.AllocsPerOp)
+		case !haveOld:
+			fmt.Fprintf(tw, "%s\t-\t%.6g\t-\t-\t%.6g\t-\tnew\n", k, cur.NsPerOp, cur.AllocsPerOp)
+		default:
+			status := "ok"
+			if regressed[k] {
+				status = "REGRESSION"
+			}
+			fmt.Fprintf(tw, "%s\t%.6g\t%.6g\t%s\t%.6g\t%.6g\t%s\t%s\n",
+				k, old.NsPerOp, cur.NsPerOp, pct(old.NsPerOp, cur.NsPerOp),
+				old.AllocsPerOp, cur.AllocsPerOp, pct(old.AllocsPerOp, cur.AllocsPerOp), status)
+		}
+	}
+	tw.Flush()
+}
+
 func readSummary(path string) (*Summary, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -109,6 +177,9 @@ func runCompare(oldPath, newPath string, nsTol, allocTol float64) {
 		fatal(err)
 	}
 	regs := compareSummaries(oldSum, newSum, nsTol, allocTol)
+	// The full delta table prints either way: a passing gate should
+	// still show how much every benchmark moved.
+	writeDeltaTable(os.Stderr, oldSum, newSum, regs)
 	if len(regs) > 0 {
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 func sum(benches ...Benchmark) *Summary {
 	return &Summary{Benchmarks: benches}
@@ -86,5 +90,58 @@ func TestCompareDeterministicOrder(t *testing.T) {
 	}
 	if regs[0].Benchmark != "BenchmarkA" || regs[1].Metric != "allocs/op" || regs[2].Metric != "ns/op" {
 		t.Errorf("regressions not sorted by benchmark then metric: %v", regs)
+	}
+}
+
+func TestDeltaTablePrintsEveryBenchmark(t *testing.T) {
+	old := sum(
+		Benchmark{Package: "veritas", Name: "BenchmarkFleet", NsPerOp: 1000, AllocsPerOp: 10},
+		Benchmark{Package: "veritas", Name: "BenchmarkGone", NsPerOp: 50, AllocsPerOp: 5},
+	)
+	cur := sum(
+		Benchmark{Package: "veritas", Name: "BenchmarkFleet", NsPerOp: 1500, AllocsPerOp: 10},
+		Benchmark{Package: "veritas", Name: "BenchmarkNew", NsPerOp: 20, AllocsPerOp: 2},
+	)
+	regs := compareSummaries(old, cur, 0.20, 0.0)
+	var buf bytes.Buffer
+	writeDeltaTable(&buf, old, cur, regs)
+	out := buf.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 benchmarks
+		t.Fatalf("delta table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	for _, want := range []string{
+		"old ns/op", "new ns/op", "old allocs/op", // header
+		"veritas.BenchmarkFleet", "+50.0%", "REGRESSION",
+		"veritas.BenchmarkGone", "missing",
+		"veritas.BenchmarkNew", "new",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+	// Rows sort by name: Fleet, Gone, New after the header.
+	if !(strings.Index(out, "BenchmarkFleet") < strings.Index(out, "BenchmarkGone") &&
+		strings.Index(out, "BenchmarkGone") < strings.Index(out, "BenchmarkNew")) {
+		t.Errorf("delta table rows not sorted:\n%s", out)
+	}
+}
+
+func TestDeltaTableWithinTolerance(t *testing.T) {
+	// The table prints even when nothing regressed, with every row "ok"
+	// and real percentages.
+	old := sum(Benchmark{Name: "BenchmarkSteady", NsPerOp: 1000, AllocsPerOp: 8})
+	cur := sum(Benchmark{Name: "BenchmarkSteady", NsPerOp: 950, AllocsPerOp: 8})
+	var buf bytes.Buffer
+	writeDeltaTable(&buf, old, cur, nil)
+	out := buf.String()
+	for _, want := range []string{"BenchmarkSteady", "-5.0%", "+0.0%", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("clean comparison shows a REGRESSION row:\n%s", out)
 	}
 }

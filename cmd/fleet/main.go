@@ -61,6 +61,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -71,7 +72,13 @@ import (
 	"time"
 
 	"veritas"
+	"veritas/internal/cli"
 )
+
+// logger is the process-wide structured logger, built from -log and
+// -log-level right after flag parsing. Everything fleet says on stderr
+// goes through it; stdout stays reserved for the report.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 // options collects the parsed flags so the flag→campaign mapping is
 // testable apart from flag.Parse and os.Exit.
@@ -169,37 +176,37 @@ func newFleetPrinter(shards int, verbose bool) *fleetPrinter {
 func (p *fleetPrinter) handle(e veritas.DispatchEvent) {
 	switch e.Type {
 	case veritas.DispatchStart:
-		fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker started (pid %d, attempt %d)\n", e.Shard, p.shards, e.PID, e.Attempt+1)
+		logger.Info("worker started", "shard", e.Shard, "shards", p.shards, "pid", e.PID, "attempt", e.Attempt+1)
 	case veritas.DispatchProgress:
 		if e.Shard >= 0 && e.Shard < p.shards {
 			p.done[e.Shard], p.total[e.Shard] = e.Done, e.Total
 		}
 		if p.verbose {
-			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: %d/%d sessions\n", e.Shard, p.shards, e.Done, e.Total)
+			logger.Info("shard progress", "shard", e.Shard, "done", e.Done, "total", e.Total)
 		} else {
 			p.summary(false)
 		}
-	case veritas.DispatchTelemetry:
-		// Worker metrics snapshots feed the -status listener; nothing
-		// to print.
+	case veritas.DispatchTelemetry, veritas.DispatchTraces:
+		// Worker metrics snapshots and trace sets feed the -status
+		// listener (and the final -trace export); nothing to print.
 	case veritas.DispatchLine:
-		fmt.Fprintf(os.Stderr, "fleet: shard %d [%s] %s\n", e.Shard, e.Stream, e.Line)
+		logger.Info("worker output", "shard", e.Shard, "stream", e.Stream, "line", e.Line)
 	case veritas.DispatchExit:
 		if e.Err != nil {
-			fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: worker failed: %v\n", e.Shard, p.shards, e.Err)
+			logger.Error("worker failed", "shard", e.Shard, "error", e.Err)
 		}
 	case veritas.DispatchRestart:
 		p.restarts++
-		fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: restarting (attempt %d) in %v\n", e.Shard, p.shards, e.Attempt+1, e.Delay)
+		logger.Warn("restarting shard", "shard", e.Shard, "attempt", e.Attempt+1, "backoff", e.Delay.String())
 	case veritas.DispatchFold:
 		if !p.verbose && p.summarized {
 			p.summary(true) // close the progress story before the fold line
 		}
-		fmt.Fprintf(os.Stderr, "fleet: folded %d sessions from %d shard store(s)\n", e.Done, p.shards)
+		logger.Info("folded shard stores", "sessions", e.Done, "shards", p.shards)
 	}
 }
 
-// summary prints the one-line fleet overview, rate-limited unless
+// summary logs the one-line fleet overview, rate-limited unless
 // forced.
 func (p *fleetPrinter) summary(force bool) {
 	if !force && time.Since(p.lastSum) < 2*time.Second {
@@ -214,13 +221,13 @@ func (p *fleetPrinter) summary(force bool) {
 		total += p.total[i]
 		parts[i] = fmt.Sprintf("%d:%d/%d", i, p.done[i], p.total[i])
 	}
-	fmt.Fprintf(os.Stderr, "fleet: %d/%d sessions [shard %s] restarts %d\n",
-		done, total, strings.Join(parts, " "), p.restarts)
+	logger.Info("fleet progress", "done", done, "total", total,
+		"shards", strings.Join(parts, " "), "restarts", p.restarts)
 }
 
 // dispatchRun runs the -dispatch path: supervise n workers, fold,
 // report, and optionally serve the folded corpus.
-func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr, statusAddr string, progress bool) error {
+func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr, statusAddr, tracePath string, progress, quiet bool) error {
 	opts := append(o.campaignOptions(),
 		veritas.WithDispatchRestarts(restarts),
 		veritas.WithDispatchEvents(newFleetPrinter(n, progress).handle))
@@ -240,27 +247,65 @@ func dispatchRun(ctx context.Context, o options, n, restarts int, serveAddr, sta
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fleet: dispatching %d sessions x %d arms across %d shard workers\n",
-		len(corpus), len(arms), n)
+	logger.Info("dispatching campaign", "sessions", len(corpus), "arms", len(arms), "workers", n)
 	if statusAddr != "" {
-		fmt.Fprintf(os.Stderr, "fleet: status listener on %s (GET /v1/status, /metrics)\n", statusAddr)
+		logger.Info("status listener up", "addr", statusAddr, "endpoints", "/v1/status /metrics /v1/trace")
 	}
 	res, err := c.Dispatch(ctx, n)
+	// The trace export covers failed dispatches too: the traces that
+	// made it up the protocol are exactly what a post-mortem wants.
+	if terr := writeTrace(c, tracePath); terr != nil && err == nil {
+		err = terr
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fleet: dispatch complete: %d sessions folded into %s (%d restart(s), %v)\n",
-		res.Folded, o.storeDir, res.Restarts, res.Elapsed.Round(time.Millisecond))
+	logger.Info("dispatch complete", "folded", res.Folded, "store", o.storeDir,
+		"restarts", res.Restarts, "elapsed", res.Elapsed.Round(time.Millisecond).String())
 	if err := c.WriteReport(os.Stdout); err != nil {
 		return err
 	}
 	if serveAddr != "" {
-		fmt.Fprintf(os.Stderr, "fleet: serving the folded corpus on %s\n", serveAddr)
+		logger.Info("serving folded corpus", "addr", serveAddr)
 		if err := c.Serve(ctx, serveAddr); err != nil && err != http.ErrServerClosed {
 			return err
 		}
 	}
+	flushSummary(c, quiet)
 	return nil
+}
+
+// writeTrace exports the campaign's tail-sampled traces as Chrome
+// trace-event JSON at path (no-op when -trace was not given). Load the
+// file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func writeTrace(c *veritas.Campaign, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Info("trace written", "path", path, "traces", len(c.Trace()))
+	return nil
+}
+
+// flushSummary writes the one-line JSON telemetry digest to stderr on
+// clean shutdown; -quiet opts out.
+func flushSummary(c *veritas.Campaign, quiet bool) {
+	if quiet {
+		return
+	}
+	if err := cli.WriteTelemetrySummary(os.Stderr, c.Telemetry().Summary()); err != nil {
+		logger.Error("telemetry summary", "error", err)
+	}
 }
 
 // parseShard parses a -shard value of the form "i/n" (e.g. "0/3").
@@ -281,18 +326,22 @@ func parseShard(s string) (index, count int, err error) {
 
 // fold runs the -fold path: compact per-shard stores into one corpus at
 // dst, then print the folded store's report.
-func fold(dst string, srcs []string) error {
+func fold(dst string, srcs []string, quiet bool) error {
 	n, err := veritas.FoldShards(dst, srcs...)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fleet: folded %d sessions into %s\n", n, dst)
+	logger.Info("folded shard stores", "sessions", n, "store", dst)
 	c, err := veritas.NewCampaign(veritas.WithStore(dst), veritas.WithReadOnlyStore())
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	return c.WriteReport(os.Stdout)
+	if err := c.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	flushSummary(c, quiet)
+	return nil
 }
 
 func main() {
@@ -321,9 +370,18 @@ func main() {
 	dispatchN := flag.Int("dispatch", 0, "supervise n local shard worker processes, fold their stores into -store, and report")
 	restarts := flag.Int("restarts", 2, "per-shard crash-restart budget under -dispatch")
 	serveAddr := flag.String("serve", "", "with -dispatch: serve the folded corpus on this address after the campaign")
-	statusAddr := flag.String("status", "", "with -dispatch: serve the live fleet status API (GET /v1/status, /metrics) on this address while the campaign runs")
+	statusAddr := flag.String("status", "", "with -dispatch: serve the live fleet status API (GET /v1/status, /metrics, /v1/trace) on this address while the campaign runs")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	logFormat := flag.String("log", "text", "structured log format on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	tracePath := flag.String("trace", "", "write the campaign's tail-sampled traces as Chrome trace-event JSON to this file (load in Perfetto)")
+	quiet := flag.Bool("quiet", false, "skip the one-line JSON telemetry summary on clean shutdown")
 	flag.Parse()
+	log, err := cli.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger = log
 	startPprof(*pprofAddr)
 
 	// The list-valued flags feed every run shape (normal, -shard,
@@ -368,7 +426,7 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := dispatchRun(ctx, o, *dispatchN, *restarts, *serveAddr, *statusAddr, *progress); err != nil {
+		if err := dispatchRun(ctx, o, *dispatchN, *restarts, *serveAddr, *statusAddr, *tracePath, *progress, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -396,8 +454,11 @@ func main() {
 		// silently ignored, which reads like it was honored. Refuse.
 		var stray []string
 		flag.Visit(func(f *flag.Flag) {
-			// -pprof is pure observability; it cannot shape the fold.
-			if f.Name != "fold" && f.Name != "store" && f.Name != "pprof" {
+			// -pprof, -log, -log-level and -quiet are pure observability;
+			// they cannot shape the fold.
+			switch f.Name {
+			case "fold", "store", "pprof", "log", "log-level", "quiet":
+			default:
 				stray = append(stray, "-"+f.Name)
 			}
 		})
@@ -405,7 +466,7 @@ func main() {
 			fatal(fmt.Errorf("-fold takes only -store; the shard stores' campaign.json defines the campaign (drop %s)",
 				strings.Join(stray, ", ")))
 		}
-		if err := fold(o.storeDir, foldSrcs); err != nil {
+		if err := fold(o.storeDir, foldSrcs, *quiet); err != nil {
 			fatal(err)
 		}
 		return
@@ -428,7 +489,7 @@ func main() {
 	var total int
 	if *progress {
 		opts = append(opts, veritas.WithProgress(func(r veritas.FleetSessionResult) {
-			fmt.Fprintf(os.Stderr, "done %s (%d arms)   [corpus of %d]\n", r.ID, len(r.Arms), total)
+			logger.Info("session done", "id", r.ID, "arms", len(r.Arms), "corpus", total)
 		}))
 	}
 	c, err := veritas.NewCampaign(opts...)
@@ -445,12 +506,12 @@ func main() {
 			fatal(err)
 		}
 		if rec := st.Recovered(); rec > 0 {
-			fmt.Fprintf(os.Stderr, "fleet: store recovered: dropped %d torn tail bytes from the previous run\n", rec)
+			logger.Warn("store recovered", "droppedTailBytes", rec)
 		}
 		if o.resume {
-			fmt.Fprintf(os.Stderr, "fleet: resume: %d sessions already stored\n", st.Len())
+			logger.Info("resuming", "storedSessions", st.Len())
 		} else if st.Len() > 0 {
-			fmt.Fprintf(os.Stderr, "fleet: store already holds %d sessions (use -resume to skip them)\n", st.Len())
+			logger.Info("store already holds sessions (use -resume to skip them)", "storedSessions", st.Len())
 		}
 	}
 
@@ -465,11 +526,10 @@ func main() {
 	}
 	if o.shardCount > 1 {
 		mine := veritas.ShardSessions(len(corpus), o.shardIndex, o.shardCount)
-		fmt.Fprintf(os.Stderr, "fleet: shard %d/%d: %d of %d sessions x %d arms, %d posterior samples\n",
-			o.shardIndex, o.shardCount, mine, len(corpus), len(arms), o.samples)
+		logger.Info("running shard", "shard", o.shardIndex, "of", o.shardCount,
+			"sessions", mine, "corpus", len(corpus), "arms", len(arms), "samples", o.samples)
 	} else {
-		fmt.Fprintf(os.Stderr, "fleet: %d sessions x %d arms, %d posterior samples\n",
-			len(corpus), len(arms), o.samples)
+		logger.Info("running campaign", "sessions", len(corpus), "arms", len(arms), "samples", o.samples)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -482,16 +542,25 @@ func main() {
 			// user must hear about before trusting -resume.
 			if st, serr := c.Store(); serr == nil {
 				if serr := st.Sync(); serr != nil {
-					fmt.Fprintf(os.Stderr, "fleet: WARNING: store sync failed (%v); stored sessions may be incomplete\n", serr)
+					logger.Error("store sync failed; stored sessions may be incomplete", "error", serr)
 				}
 			}
+		}
+		// Export whatever traces the failed run recorded — they are the
+		// post-mortem — before exiting nonzero.
+		if terr := writeTrace(c, *tracePath); terr != nil {
+			logger.Error("trace export failed", "error", terr)
 		}
 		fatal(err)
 	}
 
+	if err := writeTrace(c, *tracePath); err != nil {
+		fatal(err)
+	}
 	if err := c.WriteReport(os.Stdout); err != nil {
 		fatal(err)
 	}
+	flushSummary(c, *quiet)
 }
 
 func splitCSV(s string) []string {
@@ -529,12 +598,12 @@ func startPprof(addr string) {
 	}
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "fleet: pprof:", err)
+			logger.Error("pprof listener failed", "error", err)
 		}
 	}()
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fleet:", err)
+	logger.Error("fatal", "error", err)
 	os.Exit(1)
 }

@@ -16,6 +16,8 @@
 //	                              requests answer 304 Not Modified
 //	GET /v1/status                store + telemetry snapshot as JSON
 //	GET /metrics                  telemetry in Prometheus text format
+//	GET /v1/trace                 tail-sampled traces as Chrome trace-event
+//	                              JSON (load in Perfetto or chrome://tracing)
 //
 // The store may be a live campaign's, a single shard's (fleet -shard),
 // or a folded corpus (fleet -fold): a folded store serves the exact
@@ -34,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -41,16 +44,29 @@ import (
 	"syscall"
 
 	"veritas"
+	"veritas/internal/cli"
 )
+
+// logger is the process-wide structured logger, built from -log and
+// -log-level right after flag parsing.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	var (
-		dir   = flag.String("store", "", "store directory to serve (required)")
-		addr  = flag.String("addr", ":8077", "listen address")
-		cache = flag.Int("cache", 0, "read-cache entries (0 = default 256, negative disables)")
-		pprof = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		dir       = flag.String("store", "", "store directory to serve (required)")
+		addr      = flag.String("addr", ":8077", "listen address")
+		cache     = flag.Int("cache", 0, "read-cache entries (0 = default 256, negative disables)")
+		pprof     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		logFormat = flag.String("log", "text", "structured log format on stderr: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		quiet     = flag.Bool("quiet", false, "skip the one-line JSON telemetry summary on clean shutdown")
 	)
 	flag.Parse()
+	log, err := cli.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger = log
 	startPprof(*pprof)
 	if *dir == "" {
 		fatal(fmt.Errorf("-store is required"))
@@ -70,14 +86,22 @@ func main() {
 		fatal(err)
 	}
 	if rec := st.Recovered(); rec > 0 {
-		fmt.Fprintf(os.Stderr, "serve: skipped %d torn tail bytes (campaign crashed mid-append?)\n", rec)
+		logger.Warn("skipped torn tail bytes (campaign crashed mid-append?)", "bytes", rec)
 	}
-	fmt.Fprintf(os.Stderr, "serve: %d sessions from %s on %s\n", st.Len(), *dir, *addr)
+	logger.Info("serving store", "sessions", st.Len(), "store", *dir, "addr", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := c.Serve(ctx, *addr); err != nil && err != http.ErrServerClosed {
 		fatal(err)
+	}
+	// Clean shutdown: flush the one-line JSON telemetry digest (request
+	// counters, cache traffic) so a scraped-nothing deployment still
+	// leaves a machine-readable record. -quiet opts out.
+	if !*quiet {
+		if err := cli.WriteTelemetrySummary(os.Stderr, c.Telemetry().Summary()); err != nil {
+			logger.Error("telemetry summary", "error", err)
+		}
 	}
 }
 
@@ -90,12 +114,12 @@ func startPprof(addr string) {
 	}
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "serve: pprof:", err)
+			logger.Error("pprof listener failed", "error", err)
 		}
 	}()
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "serve:", err)
+	logger.Error("fatal", "error", err)
 	os.Exit(1)
 }

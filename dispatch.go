@@ -64,6 +64,10 @@ const (
 	// (Event.Telemetry); the supervisor's status tracker merges the
 	// latest per shard into the fleet view WithDispatchStatus serves.
 	DispatchTelemetry = dispatch.EventTelemetry
+	// DispatchTraces events carry a worker's latest notable-trace set
+	// (Event.Traces); the status tracker keeps the latest per shard and
+	// merges them into the fleet-wide /v1/trace view and Campaign.Trace.
+	DispatchTraces = dispatch.EventTraces
 )
 
 // dispatchWorkerEnv carries the worker spec to a re-exec'd child; its
@@ -155,6 +159,7 @@ type workerSpec struct {
 	Workers   int       `json:"workers,omitempty"`
 	NoCache   bool      `json:"nocache,omitempty"`
 	NoTelem   bool      `json:"notelemetry,omitempty"`
+	NoTrace   bool      `json:"notracing,omitempty"`
 	Shard     int       `json:"shard"`
 	Of        int       `json:"of"`
 	Store     string    `json:"store"`
@@ -198,6 +203,9 @@ func (s workerSpec) options() []CampaignOption {
 	}
 	if s.NoTelem {
 		opts = append(opts, WithoutTelemetry())
+	}
+	if s.NoTrace {
+		opts = append(opts, WithoutTracing())
 	}
 	return opts
 }
@@ -280,12 +288,13 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 	// fleet view. It always runs (Handle is a few map updates) so
 	// WithDispatchEvents consumers and the status listener see one
 	// consistent picture; the listener itself is opt-in.
-	tracker := dispatch.NewStatus(n, c.reg)
+	tracker := dispatch.NewStatus(n, c.reg, c.trc)
 	userEvents := o.dispatchEvents
 
 	cfg := dispatch.Config{
 		Shards: n,
 		Dir:    dir,
+		Tracer: c.trc,
 		// The campaign's acceptable fingerprints make the fold-target
 		// replaceability check decidable before any worker runs.
 		FoldInto:     storeDir,
@@ -311,6 +320,7 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 				Workers:   workers,
 				NoCache:   o.disableCache,
 				NoTelem:   o.noTelemetry,
+				NoTrace:   o.noTracing,
 				Shard:     w.Shard,
 				Of:        w.Shards,
 				Store:     w.StoreDir,
@@ -333,7 +343,14 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 		go srv.Serve(ln)
 		defer srv.Close()
 	}
-	return dispatch.Run(ctx, cfg)
+	res, err := dispatch.Run(ctx, cfg)
+	// Stash the workers' streamed trace sets (even on failure — partial
+	// traces are exactly what a crash post-mortem wants) so Trace and
+	// /v1/trace keep serving the fleet-wide view after the dispatch.
+	c.mu.Lock()
+	c.workerTraces = tracker.WorkerTraces()
+	c.mu.Unlock()
+	return res, err
 }
 
 // beginDispatch marks the campaign running and insists its store is
@@ -406,13 +423,15 @@ func dispatchWorker(raw string, stdout, stderr *os.File) int {
 	}
 	defer c.Close()
 
-	// Telemetry protocol: the worker streams registry snapshots up the
-	// same NDJSON channel so the supervisor's status listener can serve
-	// a merged fleet view of engine/store metrics it could never observe
-	// from outside the process. Snapshots are cumulative; the supervisor
-	// keeps the latest per shard.
+	// Telemetry and trace protocol: the worker streams registry
+	// snapshots — and its tail-sampled notable traces — up the same
+	// NDJSON channel so the supervisor's status listener can serve a
+	// merged fleet view of engine/store observability it could never
+	// observe from outside the process. Both are cumulative; the
+	// supervisor keeps the latest per shard.
+	var emits []func()
 	if !spec.NoTelem {
-		emitTelemetry := func() {
+		emits = append(emits, func() {
 			snap := c.Telemetry()
 			mu.Lock()
 			defer mu.Unlock()
@@ -421,6 +440,33 @@ func dispatchWorker(raw string, stdout, stderr *os.File) int {
 				Shard    int               `json:"shard"`
 				Snapshot TelemetrySnapshot `json:"snapshot"`
 			}{"telemetry", spec.Shard, snap})
+		})
+	}
+	if !spec.NoTrace {
+		emits = append(emits, func() {
+			traces := c.Trace()
+			if len(traces) == 0 {
+				return
+			}
+			// Stamp the shard so the merged fleet view (and its Perfetto
+			// process lanes) attributes each trace to its worker.
+			for i := range traces {
+				traces[i].Shard = spec.Shard
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			enc.Encode(struct {
+				Type   string          `json:"type"`
+				Shard  int             `json:"shard"`
+				Traces []CampaignTrace `json:"traces"`
+			}{"traces", spec.Shard, traces})
+		})
+	}
+	if len(emits) > 0 {
+		emitAll := func() {
+			for _, emit := range emits {
+				emit()
+			}
 		}
 		stopTick := make(chan struct{})
 		var tickWg sync.WaitGroup
@@ -432,18 +478,18 @@ func dispatchWorker(raw string, stdout, stderr *os.File) int {
 			for {
 				select {
 				case <-t.C:
-					emitTelemetry()
+					emitAll()
 				case <-stopTick:
 					return
 				}
 			}
 		}()
 		// The final flush runs on every exit path, so even a shard that
-		// finishes inside one tick reports its metrics once.
+		// finishes inside one tick reports its observability once.
 		defer func() {
 			close(stopTick)
 			tickWg.Wait()
-			emitTelemetry()
+			emitAll()
 		}()
 	}
 

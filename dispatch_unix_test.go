@@ -107,4 +107,18 @@ func TestDispatchedCampaignEquivalence(t *testing.T) {
 	if got := reportJSON(t, rc); !bytes.Equal(wantReport, got) {
 		t.Fatal("parent-directory refold differs from the single-process run")
 	}
+
+	// The supervisor's Trace is the fleet-wide view: its own worker
+	// lifecycle traces merged with the session traces the workers
+	// streamed up the NDJSON protocol. The supervisor runs no sessions
+	// itself, so any session trace proves the worker stream arrived.
+	kinds := make(map[string]bool)
+	for _, tr := range c.Trace() {
+		kinds[tr.Kind] = true
+	}
+	for _, want := range []string{"worker", "session"} {
+		if !kinds[want] {
+			t.Errorf("fleet trace missing %q traces after dispatch (kinds %v)", want, kinds)
+		}
+	}
 }

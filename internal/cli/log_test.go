@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("worker started", "shard", 2)
+	if out := buf.String(); !strings.Contains(out, "msg=\"worker started\"") || !strings.Contains(out, "shard=2") {
+		t.Errorf("text log = %q", out)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("worker started", "shard", 2)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json log line does not parse: %v (%q)", err, buf.String())
+	}
+	if line["msg"] != "worker started" || line["shard"] != float64(2) {
+		t.Errorf("json log line = %v", line)
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("chatty")
+	if buf.Len() != 0 {
+		t.Errorf("info line printed at warn level: %q", buf.String())
+	}
+	log.Warn("important")
+	if !strings.Contains(buf.String(), "important") {
+		t.Errorf("warn line missing: %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// Defaults: empty strings mean text/info.
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Errorf("empty format/level rejected: %v", err)
+	}
+}
+
+func TestWriteTelemetrySummaryOneLine(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTelemetrySummary(&buf, map[string]float64{
+		"veritas_engine_sessions_completed_total": 32,
+		"veritas_store_appends_total":             32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") != 1 || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("summary is not one line: %q", out)
+	}
+	var parsed struct {
+		Telemetry map[string]float64 `json:"telemetry"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("summary does not parse: %v (%q)", err, out)
+	}
+	if parsed.Telemetry["veritas_engine_sessions_completed_total"] != 32 {
+		t.Errorf("summary = %v", parsed.Telemetry)
+	}
+}

@@ -51,6 +51,7 @@ import (
 
 	"veritas/internal/store"
 	"veritas/internal/telemetry"
+	"veritas/internal/tracing"
 )
 
 // Defaults for the restart policy and shutdown grace.
@@ -111,6 +112,12 @@ type Config struct {
 	// event stream. Calls are serialized by the supervisor, so the
 	// callback needs no locking of its own.
 	OnEvent func(Event)
+	// Tracer, when set, records supervisor-side traces: one per worker
+	// attempt (spawn → exit, errored on crash), one per restart backoff
+	// wait, and the fold (threaded into store.Fold). Worker-side session
+	// traces arrive separately as EventTraces; a Status tracker merges
+	// both into the fleet view. Nil means supervisor tracing off.
+	Tracer *tracing.Tracer
 }
 
 func (c Config) maxRestarts() int {
@@ -164,6 +171,12 @@ const (
 	// a Status tracker merges the latest one per shard into the
 	// supervisor's fleet view.
 	EventTelemetry EventType = "telemetry"
+	// EventTraces: a worker streamed its notable-trace set up the
+	// protocol (Traces set). Like telemetry snapshots the set is
+	// cumulative — the worker's current tail sample, not a delta — so a
+	// Status tracker keeps the latest set per shard and merges at query
+	// time, which makes re-streaming duplication-free by construction.
+	EventTraces EventType = "traces"
 )
 
 // Event is one entry of the supervisor's merged event stream.
@@ -185,6 +198,8 @@ type Event struct {
 	Err error
 	// Telemetry is the worker's metrics snapshot (telemetry events).
 	Telemetry *telemetry.Snapshot
+	// Traces is the worker's notable-trace set (traces events).
+	Traces []tracing.Trace
 }
 
 // Result summarizes a completed dispatch.
@@ -298,7 +313,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	res := &Result{ShardDirs: dirs, Restarts: int(restarts.Load())}
 	if cfg.FoldInto != "" {
-		n, err := foldShards(cfg.FoldInto, dirs, cfg.Fingerprints)
+		n, err := foldShards(cfg.FoldInto, dirs, cfg.Fingerprints, cfg.Tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -391,9 +406,14 @@ func babysit(ctx context.Context, cfg Config, shard int, dir string, emit func(E
 		delay := cfg.backoff(attempt)
 		emit(Event{Type: EventRestart, Shard: shard, Attempt: attempt + 1, Delay: delay, Err: err})
 		restarts.Add(1)
+		tb := cfg.Tracer.Start("backoff", fmt.Sprintf("shard-%d", shard))
+		tb.SetAttr("attempt", attempt+1)
+		tb.SetAttr("delaySeconds", delay.Seconds())
 		select {
 		case <-time.After(delay):
+			tb.Finish(nil)
 		case <-ctx.Done():
+			tb.Finish(ctx.Err())
 			return ctx.Err()
 		}
 	}
@@ -423,6 +443,9 @@ func runWorker(ctx context.Context, cfg Config, w Worker, emit func(Event)) erro
 		return fmt.Errorf("dispatch: shard %d: %w", w.Shard, err)
 	}
 	pid := cmd.Process.Pid
+	tb := cfg.Tracer.Start("worker", fmt.Sprintf("shard-%d", w.Shard))
+	tb.SetAttr("attempt", w.Attempt+1)
+	tb.SetAttr("pid", pid)
 	emit(Event{Type: EventStart, Shard: w.Shard, Attempt: w.Attempt, PID: pid})
 
 	var scanWg sync.WaitGroup
@@ -459,6 +482,7 @@ func runWorker(ctx context.Context, cfg Config, w Worker, emit func(Event)) erro
 	err = cmd.Wait()
 	close(waitDone)
 	killWg.Wait()
+	tb.Finish(err)
 	emit(Event{Type: EventExit, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Err: err})
 	return err
 }
@@ -476,6 +500,7 @@ func scanStdout(r io.Reader, w Worker, pid int, emit func(Event)) {
 			Done     int                 `json:"done"`
 			Total    int                 `json:"total"`
 			Snapshot *telemetry.Snapshot `json:"snapshot"`
+			Traces   []tracing.Trace     `json:"traces"`
 		}
 		if len(line) > 0 && line[0] == '{' && json.Unmarshal([]byte(line), &msg) == nil {
 			switch {
@@ -484,6 +509,9 @@ func scanStdout(r io.Reader, w Worker, pid int, emit func(Event)) {
 				continue
 			case msg.Type == "telemetry" && msg.Snapshot != nil:
 				emit(Event{Type: EventTelemetry, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Telemetry: msg.Snapshot})
+				continue
+			case msg.Type == "traces" && msg.Traces != nil:
+				emit(Event{Type: EventTraces, Shard: w.Shard, Attempt: w.Attempt, PID: pid, Traces: msg.Traces})
 				continue
 			}
 		}
@@ -524,7 +552,7 @@ func drain(err error, r io.Reader, w Worker, pid int, stream string, emit func(E
 // replaced only after the fresh fold fully succeeded, and only when
 // what it holds is provably a stale fold of this campaign (same
 // campaign.json as the shards carry).
-func foldShards(dst string, dirs []string, fps [][]byte) (int, error) {
+func foldShards(dst string, dirs []string, fps [][]byte, trc *tracing.Tracer) (int, error) {
 	if err := checkReplaceable(dst, dirs, fps, true); err != nil {
 		return 0, err
 	}
@@ -532,7 +560,7 @@ func foldShards(dst string, dirs []string, fps [][]byte) (int, error) {
 	if err := os.RemoveAll(tmp); err != nil {
 		return 0, fmt.Errorf("dispatch: %w", err)
 	}
-	n, err := store.Fold(tmp, store.Options{}, dirs...)
+	n, err := store.Fold(tmp, store.Options{Tracer: trc}, dirs...)
 	if err != nil {
 		os.RemoveAll(tmp)
 		return 0, err

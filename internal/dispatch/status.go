@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"veritas/internal/telemetry"
+	"veritas/internal/tracing"
 )
 
 // Status folds the supervisor's event stream into a queryable fleet
@@ -19,6 +20,9 @@ import (
 //	GET /v1/status  per-shard progress + merged telemetry, as JSON
 //	GET /metrics    supervisor registry merged with every worker's
 //	                latest snapshot, in Prometheus text format
+//	GET /v1/trace   the fleet-wide "slowest sessions" view — supervisor
+//	                traces merged with every worker's latest notable
+//	                set — as Chrome trace-event JSON (Perfetto-loadable)
 //
 // The merged /metrics view is what makes a dispatched campaign
 // observable from one scrape target: engine stage histograms and store
@@ -29,10 +33,16 @@ type Status struct {
 	start  time.Time
 	shards []ShardStatus
 	snaps  []telemetry.Snapshot
+	// traces[i] is shard i's latest streamed notable-trace set. Sets are
+	// cumulative (a worker's whole tail sample each time), so keeping
+	// only the latest per shard and merging at query time cannot
+	// double-count a re-streamed trace.
+	traces [][]tracing.Trace
 	total  int // restarts across all shards
 	folded int
 
 	reg *telemetry.Registry
+	trc *tracing.Tracer
 	// per-shard handles (nil without a registry; nil metrics no-op)
 	gDone, gTotal, gBackoff []*telemetry.Gauge
 	cRestarts               *telemetry.Counter
@@ -74,13 +84,17 @@ type StatusSnapshot struct {
 // NewStatus builds a tracker for a dispatch of the given shard count.
 // reg, which may be nil, is the supervisor-side registry: the tracker
 // maintains per-shard progress gauges and a restart counter in it, and
-// merges it with worker snapshots when serving.
-func NewStatus(shards int, reg *telemetry.Registry) *Status {
+// merges it with worker snapshots when serving. trc, which may also be
+// nil, is the supervisor-side tracer; /v1/trace serves it merged with
+// the workers' streamed trace sets.
+func NewStatus(shards int, reg *telemetry.Registry, trc *tracing.Tracer) *Status {
 	st := &Status{
 		start:  time.Now(),
 		shards: make([]ShardStatus, shards),
 		snaps:  make([]telemetry.Snapshot, shards),
+		traces: make([][]tracing.Trace, shards),
 		reg:    reg,
+		trc:    trc,
 	}
 	for i := range st.shards {
 		st.shards[i] = ShardStatus{Shard: i, State: "pending"}
@@ -143,6 +157,8 @@ func (st *Status) Handle(e Event) {
 		if e.Telemetry != nil {
 			st.snaps[e.Shard] = *e.Telemetry
 		}
+	case EventTraces:
+		st.traces[e.Shard] = e.Traces
 	}
 }
 
@@ -191,8 +207,30 @@ func (st *Status) Snapshot() StatusSnapshot {
 	return out
 }
 
-// Handler serves the fleet view over HTTP: /v1/status (JSON) and
-// /metrics (Prometheus text, the merged fleet registry).
+// WorkerTraces returns each shard's latest streamed notable-trace set
+// (nil slots for shards that streamed none yet). The facade stashes
+// these after a dispatch so Campaign.Trace keeps serving the fleet view.
+func (st *Status) WorkerTraces() [][]tracing.Trace {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([][]tracing.Trace, len(st.traces))
+	for i, set := range st.traces {
+		out[i] = append([]tracing.Trace(nil), set...)
+	}
+	return out
+}
+
+// Traces merges the supervisor's own traces with every worker's latest
+// streamed set into the fleet-wide "slowest sessions" view, under the
+// supervisor tracer's tail-sampling policy.
+func (st *Status) Traces() []tracing.Trace {
+	sets := st.WorkerTraces()
+	return tracing.Merge(st.trc.Keep(), append([][]tracing.Trace{st.trc.Traces()}, sets...)...)
+}
+
+// Handler serves the fleet view over HTTP: /v1/status (JSON),
+// /metrics (Prometheus text, the merged fleet registry), and /v1/trace
+// (the merged fleet trace set as Chrome trace-event JSON).
 func (st *Status) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +245,12 @@ func (st *Status) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		st.Snapshot().Telemetry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tracing.WriteChrome(w, st.Traces()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	return mux
 }

@@ -38,6 +38,7 @@ import (
 	"veritas/internal/tcp"
 	"veritas/internal/telemetry"
 	"veritas/internal/trace"
+	"veritas/internal/tracing"
 	"veritas/internal/video"
 )
 
@@ -111,6 +112,12 @@ type Config struct {
 	// per session and never feeds back into computation: results are
 	// byte-identical with and without a registry.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, records one tail-sampled trace per session with
+	// simulate/abduct/replay/predict child spans (chunk counts and
+	// cache-hit attributes attached). Like Telemetry, tracing only
+	// observes — it never feeds back into computation, and results are
+	// byte-identical with and without a tracer. nil means tracing off.
+	Tracer *tracing.Tracer
 }
 
 func (c Config) workers() int {
@@ -358,7 +365,9 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 					if !cfg.inShard(i) || cfg.Skip[specID(corpus[i], i)] {
 						continue
 					}
-					res, err := runOne(cfg, corpus[i], arms, i, em)
+					tb := cfg.Tracer.Start("session", specID(corpus[i], i))
+					res, err := runOne(cfg, corpus[i], arms, i, em, tb)
+					tb.Finish(err)
 					if err != nil {
 						fail(fmt.Errorf("engine: session %d (%s): %w", i, corpus[i].ID, err))
 						return
@@ -425,16 +434,21 @@ func specID(spec SessionSpec, idx int) string {
 }
 
 // runOne executes the full pipeline for one session. It is pure given
-// the spec and index — em only observes durations and counts, never
-// steering computation — which is what makes fleet results independent
-// of worker count, scheduling, and telemetry.
-func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics) (SessionResult, error) {
+// the spec and index — em and tb only observe durations and counts,
+// never steering computation — which is what makes fleet results
+// independent of worker count, scheduling, telemetry, and tracing.
+// The caller finishes tb with runOne's error.
+func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics, tb *tracing.T) (SessionResult, error) {
 	res := SessionResult{Index: idx, ID: specID(spec, idx), Scenario: spec.Scenario}
 	sessStart := em.now()
+	if spec.Scenario != "" {
+		tb.SetAttr("scenario", spec.Scenario)
+	}
 
 	log := spec.Log
 	if log == nil {
 		simStart := em.now()
+		simT0 := tb.Now()
 		vid := spec.Video
 		if vid == nil {
 			vid = video.MustSynthesize(video.DefaultConfig(1))
@@ -466,8 +480,10 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics
 		}
 		res.SettingA = m
 		em.observe(em.simulate, simStart)
+		tb.Span("simulate", simT0, map[string]any{"chunks": len(log.Records)})
 	}
 	res.Log = log
+	tb.SetAttr("chunks", len(log.Records))
 	if spec.SimulateOnly {
 		em.sessionDone(sessStart, res.Cache)
 		return res, nil
@@ -491,6 +507,7 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics
 		acfg.HMM.SharePowers = true
 	}
 	abductStart := em.now()
+	abductT0 := tb.Now()
 	abd, err := abduction.Abduct(log, acfg)
 	if err != nil {
 		return res, fmt.Errorf("abduct: %w", err)
@@ -503,12 +520,17 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics
 		// now rather than pinning them for retained abductions.
 		cache.release()
 	}
+	tb.Span("abduct", abductT0, map[string]any{
+		"cacheHits":   res.Cache.Hits,
+		"cacheMisses": res.Cache.Misses,
+	})
 	if cfg.KeepAbductions {
 		res.Abd = abd
 	}
 
 	for _, arm := range arms {
 		armStart := em.now()
+		armT0 := tb.Now()
 		out, err := abd.Counterfactual(arm.Setting)
 		if err != nil {
 			return res, fmt.Errorf("arm %s: %w", arm.Name, err)
@@ -524,14 +546,17 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics
 		}
 		res.Arms = append(res.Arms, oc)
 		em.observe(em.replay, armStart)
+		tb.Span("replay", armT0, map[string]any{"arm": arm.Name})
 	}
 
 	if len(spec.Predict) > 0 {
 		predictStart := em.now()
+		predictT0 := tb.Now()
 		for _, q := range spec.Predict {
 			res.Predictions = append(res.Predictions, abd.PredictDownloadTime(q.StartSecs, q.TCP, q.SizeBytes))
 		}
 		em.observe(em.predict, predictStart)
+		tb.Span("predict", predictT0, map[string]any{"queries": len(spec.Predict)})
 	}
 	em.sessionDone(sessStart, res.Cache)
 	return res, nil

@@ -176,11 +176,17 @@ func ReadShardMeta(dir string) (m ShardMeta, ok bool, err error) {
 // campaign fingerprint. Sources without metadata keep caller order.
 // Either way the fold itself is Merge: sessions deduplicate by ID,
 // last listed source wins.
-func Fold(dst string, opt Options, srcs ...string) (int, error) {
+func Fold(dst string, opt Options, srcs ...string) (n int, err error) {
 	if len(srcs) == 0 {
 		return 0, errors.New("store: Fold needs at least one source")
 	}
-	srcs, err := expandSources(srcs)
+	tb := opt.Tracer.Start("fold", dst)
+	defer func() {
+		tb.SetAttr("sessions", n)
+		tb.Finish(err)
+	}()
+	orderT0 := tb.Now()
+	srcs, err = expandSources(srcs)
 	if err != nil {
 		return 0, err
 	}
@@ -192,10 +198,13 @@ func Fold(dst string, opt Options, srcs ...string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := Merge(dst, opt, ordered...)
+	tb.Span("order", orderT0, map[string]any{"sources": len(ordered)})
+	mergeT0 := tb.Now()
+	n, err = Merge(dst, opt, ordered...)
 	if err != nil {
 		return 0, err
 	}
+	tb.Span("merge", mergeT0, nil)
 	if fp != nil {
 		if err := writeFileAtomic(filepath.Join(dst, CampaignMetaFile), fp); err != nil {
 			return 0, fmt.Errorf("store: %w", err)

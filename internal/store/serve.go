@@ -11,6 +11,7 @@ import (
 
 	"veritas/internal/engine"
 	"veritas/internal/telemetry"
+	"veritas/internal/tracing"
 )
 
 // ServeOptions configures the HTTP query handler.
@@ -24,6 +25,16 @@ type ServeOptions struct {
 	// fold-ins. Nil gets a private registry: the endpoints then carry
 	// serve-side metrics only.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, records a tail-sampled trace per served request
+	// (5xx responses count as errored) and is what GET /v1/trace exports
+	// as Chrome trace-event JSON. Nil disables request tracing; the
+	// endpoint then serves an empty (but valid) trace file.
+	Tracer *tracing.Tracer
+	// TraceSource, when set, overrides the trace set /v1/trace exports —
+	// the facade uses it to serve a fleet-merged view (the campaign's own
+	// traces plus what dispatch workers streamed up) instead of just the
+	// local tracer's.
+	TraceSource func() []tracing.Trace
 }
 
 func (o ServeOptions) cacheEntries() int {
@@ -58,10 +69,12 @@ func (o ServeOptions) cacheEntries() int {
 // index is fixed at Open, so the handler serves the corpus as of that
 // moment — restart (or reopen) to pick up a live campaign's progress.
 type handler struct {
-	s    *Store
-	mux  *http.ServeMux
-	rows *rowCache
-	reg  *telemetry.Registry
+	s      *Store
+	mux    *http.ServeMux
+	rows   *rowCache
+	reg    *telemetry.Registry
+	trc    *tracing.Tracer
+	traces func() []tracing.Trace
 
 	mu      sync.Mutex
 	reports map[string]cachedReport
@@ -82,7 +95,12 @@ func NewHandler(s *Store, opt ServeOptions) http.Handler {
 		s:       s,
 		rows:    newRowCache(opt.cacheEntries()),
 		reg:     reg,
+		trc:     opt.Tracer,
+		traces:  opt.TraceSource,
 		reports: make(map[string]cachedReport),
+	}
+	if h.traces == nil {
+		h.traces = opt.Tracer.Traces
 	}
 	// The row cache keeps its own counters (they predate telemetry);
 	// fold them in as callback metrics rather than double-counting.
@@ -101,6 +119,7 @@ func NewHandler(s *Store, opt ServeOptions) http.Handler {
 	h.route(mux, "GET /v1/scenarios", "/v1/scenarios", h.scenarios)
 	h.route(mux, "GET /v1/report", "/v1/report", h.report)
 	h.route(mux, "GET /v1/status", "/v1/status", h.status)
+	h.route(mux, "GET /v1/trace", "/v1/trace", h.trace)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux = mux
 	return h
@@ -108,16 +127,51 @@ func NewHandler(s *Store, opt ServeOptions) http.Handler {
 
 // route registers fn on the mux with a per-endpoint request counter and
 // latency histogram spliced in front. path is the label value (the mux
-// pattern minus its method).
+// pattern minus its method). With a tracer present each request also
+// becomes a tail-sampled trace (5xx = errored); without one the
+// response writer is passed through untouched.
 func (h *handler) route(mux *http.ServeMux, pattern, path string, fn http.HandlerFunc) {
 	reqs := h.reg.Counter(fmt.Sprintf("veritas_serve_requests_total{path=%q}", path))
 	lat := h.reg.Histogram(fmt.Sprintf("veritas_serve_request_seconds{path=%q}", path))
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		reqs.Inc()
-		fn(w, r)
+		if h.trc == nil {
+			fn(w, r)
+			lat.Since(t0)
+			return
+		}
+		tb := h.trc.Start("request", path)
+		sw := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		tb.SetAttr("status", sw.code)
+		var err error
+		if sw.code >= 500 {
+			err = fmt.Errorf("HTTP %d", sw.code)
+		}
+		tb.Finish(err)
 		lat.Since(t0)
 	})
+}
+
+// statusRecorder captures the response code for request traces.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// trace exports the notable-trace set as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing.
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := tracing.WriteChrome(w, h.traces()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {

@@ -51,6 +51,7 @@ import (
 
 	"veritas/internal/engine"
 	"veritas/internal/telemetry"
+	"veritas/internal/tracing"
 )
 
 const (
@@ -87,6 +88,11 @@ type Options struct {
 	// versus scans, plus session-count and generation gauges evaluated
 	// at snapshot time.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, records tail-sampled traces of store operations:
+	// appends (with a rotate child span when one triggers), fsyncs, and
+	// folds. Like Telemetry, a nil tracer means tracing off; nothing
+	// recorded feeds back into what is stored.
+	Tracer *tracing.Tracer
 }
 
 func (o Options) segmentBytes() int64 {
@@ -451,7 +457,7 @@ func (s *Store) openActive(num int) error {
 
 // Append persists one session row; the row's ID is its key. A later
 // append with the same key supersedes the earlier record.
-func (s *Store) Append(row engine.SessionRow) error {
+func (s *Store) Append(row engine.SessionRow) (err error) {
 	if row.ID == "" {
 		return errors.New("store: row has empty ID")
 	}
@@ -473,6 +479,9 @@ func (s *Store) Append(row engine.SessionRow) error {
 	if s.met.appendSec != nil {
 		t0 = time.Now()
 	}
+	tb := s.opt.Tracer.Start("append", row.ID)
+	defer func() { tb.Finish(err) }()
+	tb.SetAttr("bytes", len(frame))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -482,6 +491,7 @@ func (s *Store) Append(row engine.SessionRow) error {
 		return ErrReadOnly
 	}
 	if s.activeLen+int64(len(frame)) > s.opt.segmentBytes() && s.activeLen > int64(len(segMagic)) {
+		rotT0 := tb.Now()
 		if err := s.active.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -497,6 +507,7 @@ func (s *Store) Append(row engine.SessionRow) error {
 		s.met.fsyncs.Inc()
 		s.met.rotations.Inc()
 		s.met.segments.Add(1)
+		tb.Span("rotate", rotT0, map[string]any{"segment": s.activeNum})
 	}
 	off := s.activeLen
 	if _, err := s.active.Write(frame); err != nil {
@@ -530,7 +541,7 @@ func (s *Store) Generation() uint64 {
 func (s *Store) Put(r engine.SessionResult) error { return s.Append(r.Row()) }
 
 // Sync flushes the active segment to stable storage.
-func (s *Store) Sync() error {
+func (s *Store) Sync() (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -543,6 +554,8 @@ func (s *Store) Sync() error {
 	if s.met.fsyncSec != nil {
 		t0 = time.Now()
 	}
+	tb := s.opt.Tracer.Start("fsync", segName(s.activeNum))
+	defer func() { tb.Finish(err) }()
 	if err := s.active.Sync(); err != nil {
 		return err
 	}

@@ -1,0 +1,23 @@
+package telemetry
+
+// Summary flattens a snapshot into one compact map suitable for a
+// single-line JSON digest (what cmd/fleet and cmd/serve flush to
+// stderr on clean shutdown): counters and gauges keep their names and
+// values, histograms flatten to "<name>_count" and "<name>_sum" —
+// enough to reconstruct throughput and mean latency without shipping
+// every bucket. encoding/json sorts map keys, so the marshaled line is
+// deterministic for a given snapshot.
+func (s Snapshot) Summary() map[string]float64 {
+	out := make(map[string]float64, len(s.Counters)+len(s.Gauges)+2*len(s.Histograms))
+	for k, v := range s.Counters {
+		out[k] = float64(v)
+	}
+	for k, v := range s.Gauges {
+		out[k] = v
+	}
+	for k, h := range s.Histograms {
+		out[k+"_count"] = float64(h.Count)
+		out[k+"_sum"] = h.Sum
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSummaryFlattensSnapshot(t *testing.T) {
+	snap := Snapshot{
+		Counters: map[string]uint64{"veritas_engine_sessions_completed_total": 12},
+		Gauges:   map[string]float64{"veritas_store_segment_bytes": 4096},
+		Histograms: map[string]HistogramSnapshot{
+			"veritas_engine_stage_seconds": {Count: 3, Sum: 0.75, Bounds: []float64{1}, Counts: []uint64{3, 0}},
+		},
+	}
+	sum := snap.Summary()
+	want := map[string]float64{
+		"veritas_engine_sessions_completed_total": 12,
+		"veritas_store_segment_bytes":             4096,
+		"veritas_engine_stage_seconds_count":      3,
+		"veritas_engine_stage_seconds_sum":        0.75,
+	}
+	if len(sum) != len(want) {
+		t.Fatalf("summary has %d keys, want %d: %v", len(sum), len(want), sum)
+	}
+	for k, v := range want {
+		if sum[k] != v {
+			t.Errorf("summary[%q] = %v, want %v", k, sum[k], v)
+		}
+	}
+}
+
+func TestSummaryMarshalsToOneDeterministicLine(t *testing.T) {
+	snap := Snapshot{
+		Counters: map[string]uint64{"b_total": 2, "a_total": 1},
+		Histograms: map[string]HistogramSnapshot{
+			"lat_seconds": {Count: 1, Sum: 0.5},
+		},
+	}
+	b1, err := json.Marshal(snap.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(snap.Summary())
+	if string(b1) != string(b2) {
+		t.Errorf("summary marshal not deterministic:\n%s\n%s", b1, b2)
+	}
+	if strings.Contains(string(b1), "\n") {
+		t.Errorf("summary marshals across lines: %q", b1)
+	}
+	if string(b1) != `{"a_total":1,"b_total":2,"lat_seconds_count":1,"lat_seconds_sum":0.5}` {
+		t.Errorf("summary line = %s", b1)
+	}
+}
+
+func TestSummaryEmptySnapshot(t *testing.T) {
+	if sum := (Snapshot{}).Summary(); len(sum) != 0 {
+		t.Errorf("empty snapshot summary = %v, want empty", sum)
+	}
+}

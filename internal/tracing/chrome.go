@@ -1,0 +1,118 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Chrome trace-event export: the notable-trace set serialized in the
+// Trace Event Format understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Each trace becomes one row ("thread"): a ph:"M"
+// thread_name metadata event naming it, a ph:"X" complete event
+// spanning the whole trace, and one ph:"X" event per child span.
+//
+// The output is deterministic for a given trace set: events are emitted
+// in trace order (Traces/Merge already sort slowest-first), struct
+// fields marshal in declaration order, and attribute maps marshal with
+// sorted keys — which is what lets a golden test pin the format.
+
+// chromeEvent is one trace-event line. Field order here is the wire
+// field order; Dur is a pointer so ph:"M" metadata events omit it while
+// ph:"X" events always carry it, even at 0µs.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object Perfetto loads.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes a trace set as Chrome trace-event JSON.
+// Timestamps are microseconds relative to the earliest trace's wall
+// anchor, so multi-process fleets line up on one timeline; each trace
+// gets its own tid (1-based, in set order) under pid = shard.
+func WriteChrome(w io.Writer, traces []Trace) error {
+	var epoch time.Time
+	for _, t := range traces {
+		if epoch.IsZero() || t.Wall.Before(epoch) {
+			epoch = t.Wall
+		}
+	}
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, t := range traces {
+		tid := i + 1
+		ts := t.Wall.Sub(epoch).Microseconds()
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  t.Shard,
+			Tid:  tid,
+			Args: map[string]any{"name": fmt.Sprintf("%s %s", t.Kind, t.ID)},
+		})
+		args := make(map[string]any, len(t.Attrs)+1)
+		for k, v := range t.Attrs {
+			args[k] = v
+		}
+		if t.Err != "" {
+			args["err"] = t.Err
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: t.ID,
+			Cat:  t.Kind,
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  usPtr(t.Dur),
+			Pid:  t.Shard,
+			Tid:  tid,
+			Args: args,
+		})
+		for _, sp := range t.Spans {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: sp.Name,
+				Cat:  t.Kind,
+				Ph:   "X",
+				Ts:   ts + us(sp.Start),
+				Dur:  usPtr(sp.Dur),
+				Pid:  t.Shard,
+				Tid:  tid,
+				Args: sp.Attrs,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// WriteChrome exports the tracer's current notable set; a nil tracer
+// writes a valid file with zero events.
+func (tr *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, tr.Traces())
+}
+
+// us converts seconds to whole microseconds; rounding (not truncation)
+// keeps binary-inexact durations like 0.15s at exactly 150000µs.
+func us(seconds float64) int64 {
+	return int64(math.Round(seconds * 1e6))
+}
+
+// usPtr is us for ph:"X" dur fields, which must be carried even when
+// the duration rounds to 0.
+func usPtr(seconds float64) *int64 {
+	v := us(seconds)
+	return &v
+}

@@ -1,0 +1,146 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedTraces is the golden-test input: fully synthetic, fixed wall
+// clocks, covering both shards, attrs, errors, and zero-duration spans.
+func fixedTraces() []Trace {
+	wall := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return []Trace{
+		{
+			Kind: "session", ID: "lte-04", Shard: 1,
+			Wall: wall, Dur: 0.25,
+			Attrs: map[string]any{"scenario": "lte", "arms": 2},
+			Spans: []Span{
+				{Name: "simulate", Start: 0, Dur: 0.05, Attrs: map[string]any{"chunks": 30}},
+				{Name: "abduct", Start: 0.05, Dur: 0.15, Attrs: map[string]any{"cacheHits": 12, "cacheMisses": 18}},
+				{Name: "replay", Start: 0.2, Dur: 0.05, Attrs: map[string]any{"arm": "bba-120s"}},
+			},
+		},
+		{
+			Kind: "worker", ID: "shard-0", Shard: 0,
+			Wall: wall.Add(100 * time.Millisecond), Dur: 0.1,
+			Err:   "exit status 137",
+			Attrs: map[string]any{"attempt": 1},
+			Spans: []Span{{Name: "spawn", Start: 0, Dur: 0}},
+		},
+	}
+}
+
+// goldenChrome pins the export byte-for-byte: field order, metadata
+// events, timestamp anchoring, and dur always present on ph:"X" events
+// (even at 0µs). If this changes, the export format changed — update
+// deliberately.
+const goldenChrome = `{"traceEvents":[` +
+	`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"session lte-04"}},` +
+	`{"name":"lte-04","cat":"session","ph":"X","ts":0,"dur":250000,"pid":1,"tid":1,"args":{"arms":2,"scenario":"lte"}},` +
+	`{"name":"simulate","cat":"session","ph":"X","ts":0,"dur":50000,"pid":1,"tid":1,"args":{"chunks":30}},` +
+	`{"name":"abduct","cat":"session","ph":"X","ts":50000,"dur":150000,"pid":1,"tid":1,"args":{"cacheHits":12,"cacheMisses":18}},` +
+	`{"name":"replay","cat":"session","ph":"X","ts":200000,"dur":50000,"pid":1,"tid":1,"args":{"arm":"bba-120s"}},` +
+	`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":2,"args":{"name":"worker shard-0"}},` +
+	`{"name":"shard-0","cat":"worker","ph":"X","ts":100000,"dur":100000,"pid":0,"tid":2,"args":{"attempt":1,"err":"exit status 137"}},` +
+	`{"name":"spawn","cat":"worker","ph":"X","ts":100000,"dur":0,"pid":0,"tid":2}` +
+	`],"displayTimeUnit":"ms"}` + "\n"
+
+func TestChromeExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, fixedTraces()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenChrome {
+		t.Fatalf("chrome export drifted from golden.\n got: %s\nwant: %s", got, goldenChrome)
+	}
+}
+
+func TestChromeExportIsValidTraceEventJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, fixedTraces()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON: %s", buf.String())
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	// Every event must be ph:"X" (complete, with dur) or ph:"M"
+	// (metadata); X spans must nest inside their trace's X event.
+	type key struct{ pid, tid int }
+	outer := map[key][2]int64{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+		case "X":
+			if ev.Dur == nil {
+				t.Fatalf("ph:X event %q missing dur", ev.Name)
+			}
+			k := key{ev.Pid, ev.Tid}
+			if span, seen := outer[k]; !seen {
+				outer[k] = [2]int64{ev.Ts, ev.Ts + *ev.Dur}
+			} else if ev.Ts < span[0] || ev.Ts+*ev.Dur > span[1] {
+				t.Fatalf("span %q [%d,%d] escapes trace window [%d,%d]",
+					ev.Name, ev.Ts, ev.Ts+*ev.Dur, span[0], span[1])
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ev.Ph)
+		}
+	}
+}
+
+func TestChromeExportEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[],"displayTimeUnit":"ms"}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("empty export = %s, want %s", buf.String(), want)
+	}
+	buf.Reset()
+	var tr *Tracer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != want {
+		t.Fatalf("nil tracer export = %s, want %s", buf.String(), want)
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, fixedTraces()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, fixedTraces()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same set differ")
+	}
+	if strings.Count(a.String(), "\n") != 1 {
+		t.Fatalf("export should be a single JSON line, got %q", a.String())
+	}
+}

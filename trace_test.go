@@ -1,0 +1,270 @@
+package veritas_test
+
+// Tracing-plane coverage at the facade: the determinism pin (reports
+// byte-identical with tracing on and off), the Campaign.Trace tail
+// sample, the Chrome trace-event export, and the serving layer's
+// /v1/trace endpoint.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"veritas"
+)
+
+// TestTracingNeverPerturbsReports is the load-bearing guarantee of the
+// tracing plane: spans observe the computation but never feed back
+// into it. The same campaign runs with the tracer on (default) and off
+// (WithoutTracing); Report JSON and the served /v1/report body must be
+// byte-identical.
+func TestTracingNeverPerturbsReports(t *testing.T) {
+	run := func(opts ...veritas.CampaignOption) ([]byte, []byte) {
+		t.Helper()
+		c, err := veritas.NewCampaign(append(quickOptions(), opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		repJSON, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := c.Handler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/v1/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return repJSON, body
+	}
+
+	onRep, onBody := run(veritas.WithStore(t.TempDir()))
+	offRep, offBody := run(veritas.WithStore(t.TempDir()), veritas.WithoutTracing())
+	if !bytes.Equal(onRep, offRep) {
+		t.Error("Report JSON differs with tracing on vs off")
+	}
+	if !bytes.Equal(onBody, offBody) {
+		t.Error("served /v1/report body differs with tracing on vs off")
+	}
+}
+
+func TestCampaignTraceTailSample(t *testing.T) {
+	c, err := veritas.NewCampaign(append(quickOptions(), veritas.WithStore(t.TempDir()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	traces := c.Trace()
+	if len(traces) == 0 {
+		t.Fatal("campaign recorded no traces")
+	}
+	// Slowest-first ordering.
+	for i := 1; i < len(traces); i++ {
+		if traces[i-1].Err == "" && traces[i].Err == "" && traces[i-1].Dur < traces[i].Dur {
+			t.Errorf("traces not sorted slowest-first: [%d]=%v < [%d]=%v",
+				i-1, traces[i-1].Dur, i, traces[i].Dur)
+		}
+	}
+	// Session traces carry the engine's stage spans.
+	var session *veritas.CampaignTrace
+	for i := range traces {
+		if traces[i].Kind == "session" {
+			session = &traces[i]
+			break
+		}
+	}
+	if session == nil {
+		t.Fatalf("no session trace in %d traces", len(traces))
+	}
+	stages := make(map[string]bool)
+	for _, sp := range session.Spans {
+		stages[sp.Name] = true
+	}
+	for _, want := range []string{"simulate", "abduct", "replay"} {
+		if !stages[want] {
+			t.Errorf("session trace missing %q span (have %v)", want, stages)
+		}
+	}
+	// The store's append path traces too (the campaign has a store).
+	kinds := make(map[string]bool)
+	for _, tr := range traces {
+		kinds[tr.Kind] = true
+	}
+	if !kinds["append"] {
+		t.Errorf("no append trace in tail sample (kinds %v)", kinds)
+	}
+
+	// With tracing off: no traces, no panic, and an empty (but valid)
+	// export.
+	off, err := veritas.NewCampaign(append(quickOptions(), veritas.WithoutTracing())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if _, err := off.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Trace(); len(got) != 0 {
+		t.Errorf("WithoutTracing recorded %d traces", len(got))
+	}
+	var buf bytes.Buffer
+	if err := off.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != `{"traceEvents":[],"displayTimeUnit":"ms"}` {
+		t.Errorf("empty trace export = %s", got)
+	}
+}
+
+func TestCampaignWriteTraceIsChromeLoadable(t *testing.T) {
+	c, err := veritas.NewCampaign(quickOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+	var meta, complete int
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if meta == 0 || complete == 0 {
+		t.Errorf("export has %d metadata and %d complete events; want both", meta, complete)
+	}
+}
+
+func TestServeTraceEndpoint(t *testing.T) {
+	c, err := veritas.NewCampaign(append(quickOptions(), veritas.WithStore(t.TempDir()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Handler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/trace: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/v1/trace content type = %q", ct)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&file); err != nil {
+		t.Fatalf("/v1/trace body does not parse: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Error("/v1/trace served no events after a run")
+	}
+
+	// The endpoint serves the campaign-merged view, which includes the
+	// serving layer's own request traces on a second scrape.
+	resp2, err := http.Get(srv.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"request /v1/trace"`) {
+		t.Error("second /v1/trace scrape does not carry the first request's trace")
+	}
+}
+
+func TestTracingOptionValidation(t *testing.T) {
+	if _, err := veritas.NewCampaign(veritas.WithTracing(0)); err == nil {
+		t.Error("WithTracing(0) accepted")
+	}
+	if _, err := veritas.NewCampaign(veritas.WithTracing(8), veritas.WithoutTracing()); err == nil {
+		t.Error("WithTracing + WithoutTracing accepted")
+	}
+	// WithTracing bounds the successful tail sample.
+	c, err := veritas.NewCampaign(append(quickOptions(), veritas.WithTracing(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var successful int
+	for _, tr := range c.Trace() {
+		if tr.Err == "" {
+			successful++
+		}
+	}
+	if successful == 0 || successful > 2 {
+		t.Errorf("WithTracing(2) kept %d successful traces, want 1-2", successful)
+	}
+}
