@@ -149,6 +149,12 @@ type campaignOptions struct {
 	dispatchEvents      func(DispatchEvent)
 	dispatchStatus      string
 
+	// Networked fleet dispatch (see Campaign.ServeFleet).
+	fleetAddr     string
+	fleetTTL      time.Duration
+	fleetMaxLease time.Duration
+	fleetReady    func(addr string)
+
 	// Observability.
 	noTelemetry bool
 	noTracing   bool

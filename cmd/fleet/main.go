@@ -66,6 +66,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -308,6 +309,81 @@ func flushSummary(c *veritas.Campaign, quiet bool) {
 	}
 }
 
+// flagConflicts rejects contradictory flag combinations up front, so
+// no flag is ever silently ignored (which reads like it was honored)
+// and no impossible value falls through to a run shape the user did
+// not ask for. set holds the names of the flags explicitly passed on
+// the command line (flag.Visit), dispatchN and storeDir their parsed
+// values. Returns the first contradiction, or nil.
+func flagConflicts(set map[string]bool, dispatchN int, storeDir string) error {
+	if set["dispatch"] && dispatchN < 1 {
+		// An explicit but impossible shard count must not silently fall
+		// through to a normal single-process run.
+		return fmt.Errorf("-dispatch %d: shard count must be at least 1", dispatchN)
+	}
+	if set["dispatch"] {
+		// The supervisor owns sharding, resuming, and reporting; flags
+		// that would contradict it must not be silently ignored.
+		var stray []string
+		for _, c := range []struct{ name, why string }{
+			{"shard", "dispatch owns the partition"},
+			{"fold", "dispatch folds for you"},
+			{"resume", "dispatch workers always resume"},
+		} {
+			if set[c.name] {
+				stray = append(stray, fmt.Sprintf("-%s (%s)", c.name, c.why))
+			}
+		}
+		if len(stray) > 0 {
+			return fmt.Errorf("-dispatch conflicts with %s", strings.Join(stray, ", "))
+		}
+		if storeDir == "" {
+			return fmt.Errorf("-dispatch needs -store: the folded corpus has to land somewhere")
+		}
+		return nil
+	}
+	if set["serve"] {
+		return fmt.Errorf("-serve requires -dispatch (use cmd/serve for a standalone query server)")
+	}
+	if set["status"] {
+		return fmt.Errorf("-status requires -dispatch (there is no supervisor to report on; cmd/serve exposes /v1/status for a store)")
+	}
+	// -restarts configures the dispatch supervisor; without -dispatch it
+	// would be silently ignored.
+	if set["restarts"] {
+		return fmt.Errorf("-restarts requires -dispatch (there is no supervisor to restart workers)")
+	}
+	if set["fold"] {
+		if storeDir == "" {
+			return fmt.Errorf("-fold needs -store as the destination directory")
+		}
+		// The fold is defined entirely by the shard stores (their
+		// campaign.json IS the campaign); any other flag would be
+		// silently ignored. -pprof, -log, -log-level and -quiet are pure
+		// observability; they cannot shape the fold.
+		allowed := map[string]bool{"fold": true, "store": true, "pprof": true, "log": true, "log-level": true, "quiet": true}
+		var stray []string
+		for name := range set {
+			if !allowed[name] {
+				stray = append(stray, "-"+name)
+			}
+		}
+		if len(stray) > 0 {
+			sort.Strings(stray)
+			return fmt.Errorf("-fold takes only -store; the shard stores' campaign.json defines the campaign (drop %s)",
+				strings.Join(stray, ", "))
+		}
+		return nil
+	}
+	if set["shard"] && storeDir == "" {
+		// A shard without a store would compute its slice, print a
+		// partial report indistinguishable from a whole-campaign one,
+		// and persist nothing to fold.
+		return fmt.Errorf("-shard needs -store: a shard's results exist to be folded")
+	}
+	return nil
+}
+
 // parseShard parses a -shard value of the form "i/n" (e.g. "0/3").
 // Range validation lives in veritas.WithShard, not here.
 func parseShard(s string) (index, count int, err error) {
@@ -395,35 +471,12 @@ func main() {
 	}
 	o.buffers = bufVals
 
-	if *dispatchN < 1 {
-		// An explicit but impossible shard count must not silently fall
-		// through to a normal single-process run.
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "dispatch" {
-				fatal(fmt.Errorf("-dispatch %d: shard count must be at least 1", *dispatchN))
-			}
-		})
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := flagConflicts(set, *dispatchN, o.storeDir); err != nil {
+		fatal(err)
 	}
 	if *dispatchN > 0 {
-		// The supervisor owns sharding, resuming, and reporting; flags
-		// that would contradict it must not be silently ignored.
-		var stray []string
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "shard":
-				stray = append(stray, "-shard (dispatch owns the partition)")
-			case "fold":
-				stray = append(stray, "-fold (dispatch folds for you)")
-			case "resume":
-				stray = append(stray, "-resume (dispatch workers always resume)")
-			}
-		})
-		if len(stray) > 0 {
-			fatal(fmt.Errorf("-dispatch conflicts with %s", strings.Join(stray, ", ")))
-		}
-		if o.storeDir == "" {
-			fatal(fmt.Errorf("-dispatch needs -store: the folded corpus has to land somewhere"))
-		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := dispatchRun(ctx, o, *dispatchN, *restarts, *serveAddr, *statusAddr, *tracePath, *progress, *quiet); err != nil {
@@ -431,41 +484,7 @@ func main() {
 		}
 		return
 	}
-	if *serveAddr != "" {
-		fatal(fmt.Errorf("-serve requires -dispatch (use cmd/serve for a standalone query server)"))
-	}
-	if *statusAddr != "" {
-		fatal(fmt.Errorf("-status requires -dispatch (there is no supervisor to report on; cmd/serve exposes /v1/status for a store)"))
-	}
-	// -restarts configures the dispatch supervisor; without -dispatch it
-	// would be silently ignored, which reads like it was honored.
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "restarts" {
-			fatal(fmt.Errorf("-restarts requires -dispatch (there is no supervisor to restart workers)"))
-		}
-	})
-
 	if len(foldSrcs) > 0 {
-		if o.storeDir == "" {
-			fatal(fmt.Errorf("-fold needs -store as the destination directory"))
-		}
-		// The fold is defined entirely by the shard stores (their
-		// campaign.json IS the campaign); any other flag would be
-		// silently ignored, which reads like it was honored. Refuse.
-		var stray []string
-		flag.Visit(func(f *flag.Flag) {
-			// -pprof, -log, -log-level and -quiet are pure observability;
-			// they cannot shape the fold.
-			switch f.Name {
-			case "fold", "store", "pprof", "log", "log-level", "quiet":
-			default:
-				stray = append(stray, "-"+f.Name)
-			}
-		})
-		if len(stray) > 0 {
-			fatal(fmt.Errorf("-fold takes only -store; the shard stores' campaign.json defines the campaign (drop %s)",
-				strings.Join(stray, ", ")))
-		}
 		if err := fold(o.storeDir, foldSrcs, *quiet); err != nil {
 			fatal(err)
 		}
@@ -475,12 +494,6 @@ func main() {
 		idx, cnt, err := parseShard(*shard)
 		if err != nil {
 			fatal(fmt.Errorf("-shard: %w", err))
-		}
-		if o.storeDir == "" {
-			// A shard without a store would compute its slice, print a
-			// partial report indistinguishable from a whole-campaign
-			// one, and persist nothing to fold.
-			fatal(fmt.Errorf("-shard needs -store: a shard's results exist to be folded"))
 		}
 		o.shardIndex, o.shardCount = idx, cnt
 	}

@@ -90,6 +90,63 @@ func TestBadFlagsRejectedByCampaign(t *testing.T) {
 	}
 }
 
+// TestFlagConflicts pins the contradictory-flag-combination table:
+// every rejected pairing must fail fast with an error naming the
+// offending flags, and every legitimate combination must pass.
+func TestFlagConflicts(t *testing.T) {
+	cases := []struct {
+		name      string
+		set       []string // flags explicitly passed
+		dispatchN int
+		storeDir  string
+		want      string // "" = must be accepted
+	}{
+		{"no flags", nil, 0, "", ""},
+		{"plain store run", []string{"store"}, 0, "x.store", ""},
+		{"dispatch with store", []string{"dispatch", "store"}, 4, "x.store", ""},
+		{"dispatch zero", []string{"dispatch"}, 0, "x.store", "at least 1"},
+		{"dispatch negative", []string{"dispatch", "store"}, -2, "x.store", "at least 1"},
+		{"dispatch without store", []string{"dispatch"}, 4, "", "-dispatch needs -store"},
+		{"dispatch with shard", []string{"dispatch", "store", "shard"}, 4, "x.store", "-shard (dispatch owns the partition)"},
+		{"dispatch with fold", []string{"dispatch", "store", "fold"}, 4, "x.store", "-fold (dispatch folds for you)"},
+		{"dispatch with resume", []string{"dispatch", "store", "resume"}, 4, "x.store", "-resume (dispatch workers always resume)"},
+		{"dispatch with shard and resume", []string{"dispatch", "store", "shard", "resume"}, 4, "x.store",
+			"-shard (dispatch owns the partition), -resume (dispatch workers always resume)"},
+		{"serve without dispatch", []string{"serve"}, 0, "", "-serve requires -dispatch"},
+		{"status without dispatch", []string{"status"}, 0, "", "-status requires -dispatch"},
+		{"restarts without dispatch", []string{"restarts"}, 0, "", "-restarts requires -dispatch"},
+		{"fold with store", []string{"fold", "store"}, 0, "x.store", ""},
+		{"fold with observability flags", []string{"fold", "store", "log", "log-level", "quiet", "pprof"}, 0, "x.store", ""},
+		{"fold without store", []string{"fold"}, 0, "", "-fold needs -store"},
+		{"fold with resume", []string{"fold", "store", "resume"}, 0, "x.store", "drop -resume"},
+		{"fold with shard", []string{"fold", "store", "shard"}, 0, "x.store", "drop -shard"},
+		{"fold with campaign flags", []string{"fold", "store", "sessions", "seed"}, 0, "x.store", "drop -seed, -sessions"},
+		{"shard with store", []string{"shard", "store"}, 0, "x.store", ""},
+		{"shard without store", []string{"shard"}, 0, "", "-shard needs -store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := flagConflicts(set, tc.dispatchN, tc.storeDir)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("contradictory combination accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestSplitCSVAndParseFloats(t *testing.T) {
 	if got := splitCSV(" lte, wifi ,"); len(got) != 2 || got[0] != "lte" || got[1] != "wifi" {
 		t.Errorf("splitCSV = %v", got)

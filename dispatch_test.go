@@ -19,8 +19,11 @@ import (
 
 func TestMain(m *testing.M) {
 	// When a dispatch supervisor under test re-execs this binary as a
-	// shard worker, run the shard and exit instead of the test suite.
+	// shard worker (or the fleet harness re-execs it as an agent), run
+	// that role and exit instead of the test suite. Worker first: agent
+	// processes spawn workers that inherit the agent environment.
 	veritas.DispatchWorkerMain()
+	veritas.FleetAgentMain()
 	os.Exit(m.Run())
 }
 

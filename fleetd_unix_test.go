@@ -1,0 +1,227 @@
+//go:build unix
+
+package veritas_test
+
+// The fleet acceptance pin: the same campaign computed two ways — one
+// process, and a networked fleet of two veritasd-style agents where
+// one agent (and its whole worker process group) is SIGKILLed mid-
+// campaign, forcing the dispatcher to steal its leased shard and
+// re-lease it to the survivor — must produce byte-identical
+// engine.Report JSON and byte-identical /v1/report bodies. Work
+// stealing changes which machine computes a shard, never what the
+// campaign reports.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"veritas"
+)
+
+// fleetOptions is the fleet harness campaign: 2 scenarios x 3 sessions
+// = 6 sessions over 3 shards (2 per shard). Sessions are heavy (3000
+// chunks, ~200ms each) and serialized (one worker), so a shard spends
+// a long stretch at done=1 of 2 — wide enough that the agent's
+// ~100ms heartbeat relay reliably reports mid-shard progress, which is
+// the harness's kill signal.
+func fleetOptions() []veritas.CampaignOption {
+	return []veritas.CampaignOption{
+		veritas.WithScenarios("fcc", "lte"),
+		veritas.WithSessions(3),
+		veritas.WithChunks(3000),
+		veritas.WithSeed(11),
+		veritas.WithSamples(2),
+		veritas.WithMatrix([]string{"bba"}, []float64{5}),
+		veritas.WithWorkers(1),
+	}
+}
+
+// spawnFleetAgent re-execs this test binary as a fleet agent (see
+// TestMain) in its own process group, so killing the group takes the
+// agent and every worker it spawned down together — a machine death,
+// as far as the dispatcher can tell.
+func spawnFleetAgent(t *testing.T, dispatcher, name, dir string, out *bytes.Buffer) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := json.Marshal(veritas.FleetAgentConfig{
+		Dispatcher: dispatcher,
+		Name:       name,
+		Dir:        dir,
+		Backoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "VERITAS_FLEET_AGENT="+string(cfg))
+	cmd.Stdout = out
+	cmd.Stderr = out
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+func TestFleetCampaignEquivalenceUnderAgentDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real agent and worker processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Way A: one process, one store.
+	dirA := filepath.Join(t.TempDir(), "single.store")
+	single, err := veritas.NewCampaign(append(fleetOptions(), veritas.WithStore(dirA))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := single.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantReport := reportJSON(t, single)
+	wantBody := v1Report(t, single)
+
+	// Way B: a fleet. The dispatcher leases 3 shards to two agents; the
+	// moment agent-a reports mid-shard progress it is SIGKILLed — whole
+	// process group, workers included — so its lease must expire and
+	// the shard must be stolen by agent-b.
+	var pidA atomic.Int64
+	var killed atomic.Bool
+	events := func(e veritas.DispatchEvent) {
+		if e.Type == veritas.DispatchProgress && e.Agent == "agent-a" && e.Done > 0 && e.Done < e.Total {
+			if pid := pidA.Load(); pid != 0 && killed.CompareAndSwap(false, true) {
+				syscall.Kill(-int(pid), syscall.SIGKILL)
+			}
+		}
+	}
+	ready := make(chan string, 1)
+	dst := filepath.Join(t.TempDir(), "fleet.store")
+	c, err := veritas.NewCampaign(append(fleetOptions(),
+		veritas.WithStore(dst),
+		veritas.WithFleet("127.0.0.1:0"),
+		veritas.WithFleetLease(300*time.Millisecond),
+		veritas.WithFleetReady(func(addr string) { ready <- addr }),
+		veritas.WithDispatchEvents(events),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type serveOut struct {
+		res *veritas.FleetDispatchResult
+		err error
+	}
+	serveCh := make(chan serveOut, 1)
+	go func() {
+		res, err := c.ServeFleet(ctx, 3)
+		serveCh <- serveOut{res, err}
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fleet listener never came up")
+	case out := <-serveCh:
+		t.Fatalf("ServeFleet returned before serving: %+v, %v", out.res, out.err)
+	}
+
+	var outA, outB bytes.Buffer
+	agentA := spawnFleetAgent(t, addr, "agent-a", filepath.Join(t.TempDir(), "agent-a"), &outA)
+	pidA.Store(int64(agentA.Process.Pid))
+	agentB := spawnFleetAgent(t, addr, "agent-b", filepath.Join(t.TempDir(), "agent-b"), &outB)
+	defer func() {
+		// Belt and braces: no agent process group outlives the test.
+		syscall.Kill(-agentA.Process.Pid, syscall.SIGKILL)
+		syscall.Kill(-agentB.Process.Pid, syscall.SIGKILL)
+		agentA.Wait()
+		agentB.Wait()
+	}()
+
+	out := <-serveCh
+	if out.err != nil {
+		t.Fatalf("ServeFleet: %v\nagent-a output:\n%s\nagent-b output:\n%s", out.err, outA.Bytes(), outB.Bytes())
+	}
+	res := out.res
+	if !killed.Load() {
+		t.Fatal("agent-a was never killed; the harness did not exercise work stealing")
+	}
+	if res.Steals < 1 {
+		t.Fatalf("fleet completed with %d steals after an agent was SIGKILLed mid-lease", res.Steals)
+	}
+	corpus, err := c.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folded != len(corpus) {
+		t.Errorf("folded %d sessions, want the whole %d-session corpus", res.Folded, len(corpus))
+	}
+	if len(res.Agents) != 2 || res.Agents[0] != "agent-a" || res.Agents[1] != "agent-b" {
+		t.Errorf("registered agents = %v, want [agent-a agent-b]", res.Agents)
+	}
+
+	// The surviving agent sees "done" on its next lease request and
+	// exits cleanly.
+	if err := agentB.Wait(); err != nil {
+		t.Errorf("agent-b exited with %v\noutput:\n%s", err, outB.Bytes())
+	}
+
+	// The dispatching campaign reports from the folded store,
+	// byte-identically to the single-process run — through Report()
+	// and through the serving layer.
+	if got := reportJSON(t, c); !bytes.Equal(wantReport, got) {
+		t.Fatalf("fleet report differs from the single-process run\nwant: %s\ngot:  %s", wantReport, got)
+	}
+	if got := v1Report(t, c); !bytes.Equal(wantBody, got) {
+		t.Fatal("fleet /v1/report body differs from the single-process store's")
+	}
+
+	// And the shard stores the agents shipped remain foldable by hand.
+	refold := filepath.Join(t.TempDir(), "refold.store")
+	shardDirs := make([]string, 3)
+	for i := range shardDirs {
+		shardDirs[i] = filepath.Join(dst+".shards", fmt.Sprintf("shard-%d.store", i))
+	}
+	if _, err := veritas.FoldShards(refold, shardDirs...); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := veritas.NewCampaign(veritas.WithStore(refold), veritas.WithReadOnlyStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if got := reportJSON(t, rc); !bytes.Equal(wantReport, got) {
+		t.Fatal("refold of the shipped shard stores differs from the single-process run")
+	}
+
+	// The fleet trace view carries the agents' streamed session traces,
+	// stamped with agent provenance.
+	var agentStamped bool
+	for _, tr := range c.Trace() {
+		if tr.Kind == "session" && tr.Agent != "" {
+			agentStamped = true
+			break
+		}
+	}
+	if !agentStamped {
+		kinds := map[string]int{}
+		for _, tr := range c.Trace() {
+			kinds[fmt.Sprintf("%s@%s", tr.Kind, tr.Agent)]++
+		}
+		t.Errorf("no agent-stamped session trace in the fleet view (have %v)", kinds)
+	}
+}

@@ -118,6 +118,15 @@ type Config struct {
 	// traces arrive separately as EventTraces; a Status tracker merges
 	// both into the fleet view. Nil means supervisor tracing off.
 	Tracer *tracing.Tracer
+	// KeepProcessGroup leaves workers in the supervisor's own process
+	// group instead of isolating each into its own. A terminal-run
+	// dispatcher wants isolation (Ctrl-C must reach only the
+	// supervisor); a fleet agent wants the opposite — its workers must
+	// die with it, so that SIGKILLing the agent's process group leaves
+	// no orphan still writing into the agent's store directories.
+	// Cancellation then signals the worker process directly rather than
+	// its (non-existent) group.
+	KeepProcessGroup bool
 }
 
 func (c Config) maxRestarts() int {
@@ -177,6 +186,21 @@ const (
 	// Status tracker keeps the latest set per shard and merges at query
 	// time, which makes re-streaming duplication-free by construction.
 	EventTraces EventType = "traces"
+
+	// Fleet lifecycle events, synthesized by a fleetd dispatcher from
+	// its lease table so one Status tracker renders local and networked
+	// dispatches alike.
+
+	// EventLease: a shard was leased to an agent (Agent, Epoch set).
+	EventLease EventType = "lease"
+	// EventSteal: a lease expired (missed heartbeats, or a straggler
+	// past the hard deadline) and the shard went back to the pending
+	// queue for re-leasing. Agent/Epoch identify the lease that was
+	// revoked; Err says why.
+	EventSteal EventType = "steal"
+	// EventUpload: an agent's shard store upload was verified and
+	// accepted (Done carries its session count). The shard is complete.
+	EventUpload EventType = "upload"
 )
 
 // Event is one entry of the supervisor's merged event stream.
@@ -200,6 +224,14 @@ type Event struct {
 	Telemetry *telemetry.Snapshot
 	// Traces is the worker's notable-trace set (traces events).
 	Traces []tracing.Trace
+	// Agent names the fleet agent the event concerns (fleet events, and
+	// progress/telemetry/traces relayed over the wire by a fleetd
+	// dispatcher). Empty for local dispatches.
+	Agent string
+	// Epoch is the lease epoch the event belongs to (fleet events).
+	// Epochs fence stale agents: a heartbeat or upload carrying an
+	// older epoch than the lease table's is rejected.
+	Epoch int
 }
 
 // Result summarizes a completed dispatch.
@@ -324,6 +356,50 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// RunShard runs one shard's worker lifecycle under cfg — the per-shard
+// slice of Run, without the fan-out, layout checks, or fold: spawn the
+// worker into storeDir, stream its events, and restart crashes with
+// backoff under the budget. It exists for fleet agents, which hold a
+// lease on exactly one shard at a time and fold nothing locally (the
+// dispatcher folds after uploads); Config.Shards is the campaign's
+// total shard count, not a process fan-out. Returns the restart count
+// alongside the terminal error.
+func RunShard(ctx context.Context, cfg Config, shard int, storeDir string) (int, error) {
+	if cfg.Command == nil {
+		return 0, errors.New("dispatch: Config.Command is required")
+	}
+	if shard < 0 || shard >= cfg.Shards {
+		return 0, fmt.Errorf("dispatch: shard %d out of range 0..%d", shard, cfg.Shards-1)
+	}
+	var emitMu sync.Mutex
+	emit := func(e Event) {
+		if cfg.OnEvent == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		cfg.OnEvent(e)
+	}
+	var restarts atomic.Int64
+	err := babysit(ctx, cfg, shard, storeDir, emit, &restarts)
+	return int(restarts.Load()), err
+}
+
+// FoldStores folds completed per-shard stores into dst under the same
+// replaceability discipline Run applies after supervision: dst is
+// replaced only when provably a stale fold of this campaign (its
+// campaign.json matches the shards', or one of the acceptable
+// fingerprints), and the fold lands in a temporary sibling first so a
+// crash never leaves a half-written dst. Exported for the fleetd
+// dispatcher, which collects its shard stores over the network instead
+// of supervising local processes but must fold identically.
+func FoldStores(dst string, dirs []string, fps [][]byte, trc *tracing.Tracer) (int, error) {
+	if err := checkShardsComplete(dirs, len(dirs)); err != nil {
+		return 0, err
+	}
+	return foldShards(dst, dirs, fps, trc)
+}
+
 // checkLayout is the pre-flight partial-shard detection: every shard
 // store already under dir must belong to this dispatch — same shard
 // count, and sitting in the directory its recorded index names. A
@@ -438,7 +514,9 @@ func runWorker(ctx context.Context, cfg Config, w Worker, emit func(Event)) erro
 	if err != nil {
 		return fmt.Errorf("dispatch: %w", err)
 	}
-	isolate(cmd)
+	if !cfg.KeepProcessGroup {
+		isolate(cmd)
+	}
 	if err := cmd.Start(); err != nil {
 		return fmt.Errorf("dispatch: shard %d: %w", w.Shard, err)
 	}
@@ -469,11 +547,11 @@ func runWorker(ctx context.Context, cfg Config, w Worker, emit func(Event)) erro
 		select {
 		case <-waitDone:
 		case <-ctx.Done():
-			terminate(cmd.Process)
+			terminate(cmd.Process, !cfg.KeepProcessGroup)
 			select {
 			case <-waitDone:
 			case <-time.After(cfg.grace()):
-				kill(cmd.Process)
+				kill(cmd.Process, !cfg.KeepProcessGroup)
 			}
 		}
 	}()

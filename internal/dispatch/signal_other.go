@@ -14,11 +14,11 @@ func isolate(*exec.Cmd) {}
 // graceful signal to forward, so kill outright. Finished sessions are
 // already durable in the shard store; the restart-resume machinery
 // treats this like any other crash.
-func terminate(p *os.Process) {
+func terminate(p *os.Process, _ bool) {
 	p.Kill()
 }
 
 // kill forcibly ends a worker process.
-func kill(p *os.Process) {
+func kill(p *os.Process, _ bool) {
 	p.Kill()
 }

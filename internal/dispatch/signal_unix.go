@@ -18,15 +18,24 @@ func isolate(cmd *exec.Cmd) {
 	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 }
 
-// terminate asks a worker's process group to shut down gracefully:
-// SIGTERM, which the worker entrypoint (and cmd/fleet) traps to cancel
-// its run and sync its store. The supervisor escalates to kill after
-// the grace period.
-func terminate(p *os.Process) {
-	syscall.Kill(-p.Pid, syscall.SIGTERM)
+// terminate asks a worker to shut down gracefully: SIGTERM, which the
+// worker entrypoint (and cmd/fleet) traps to cancel its run and sync
+// its store. grouped says the worker was isolated into its own process
+// group (see Config.KeepProcessGroup), in which case the whole group is
+// signaled. The supervisor escalates to kill after the grace period.
+func terminate(p *os.Process, grouped bool) {
+	if grouped {
+		syscall.Kill(-p.Pid, syscall.SIGTERM)
+		return
+	}
+	p.Signal(syscall.SIGTERM)
 }
 
-// kill forcibly ends a worker's process group.
-func kill(p *os.Process) {
-	syscall.Kill(-p.Pid, syscall.SIGKILL)
+// kill forcibly ends a worker (or, when grouped, its process group).
+func kill(p *os.Process, grouped bool) {
+	if grouped {
+		syscall.Kill(-p.Pid, syscall.SIGKILL)
+		return
+	}
+	p.Kill()
 }

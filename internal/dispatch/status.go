@@ -39,7 +39,12 @@ type Status struct {
 	// double-count a re-streamed trace.
 	traces [][]tracing.Trace
 	total  int // restarts across all shards
+	steals int // lease revocations across all shards
 	folded int
+	// agents, when set, supplies the fleet agent rows at snapshot time
+	// (the fleetd dispatcher's lease table knows liveness; the event
+	// stream alone does not).
+	agents func() []AgentStatus
 
 	reg *telemetry.Registry
 	trc *tracing.Tracer
@@ -54,6 +59,9 @@ type ShardStatus struct {
 	// State is "pending" (never started), "running", "backoff"
 	// (crashed, awaiting relaunch), "done", or "crashed" (exited
 	// non-zero; babysit decides between backoff and permanent failure).
+	// Fleet dispatches add "leased" (handed to an agent, no progress
+	// yet) and "stolen" (the lease was revoked and the shard is back in
+	// the pending queue awaiting another agent).
 	State string `json:"state"`
 	PID   int    `json:"pid,omitempty"`
 	// Attempt is 1-based (the protocol's Worker.Attempt is 0-based),
@@ -64,15 +72,45 @@ type ShardStatus struct {
 	Restarts int `json:"restarts"`
 	// LastError is the most recent exit error (crashed workers).
 	LastError string `json:"lastError,omitempty"`
+	// Agent and Epoch identify the current (or last) lease holder in a
+	// fleet dispatch; both zero for local dispatches.
+	Agent string `json:"agent,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
+	// Steals counts how many times this shard's lease was revoked and
+	// re-queued (missed heartbeats or straggler deadline).
+	Steals int `json:"steals,omitempty"`
+}
+
+// AgentStatus is one fleet agent's row in the status view, supplied by
+// the fleetd dispatcher's lease table via SetAgentSource.
+type AgentStatus struct {
+	Agent string `json:"agent"`
+	// State is "alive" (heartbeating), "idle" (registered, no lease),
+	// or "lost" (missed enough heartbeats that a lease was revoked).
+	State string `json:"state"`
+	// Shards are the shard indexes the agent currently holds leases on.
+	Shards []int `json:"shards,omitempty"`
+	// Completed counts shard stores this agent uploaded and had
+	// accepted.
+	Completed int `json:"completed"`
+	// LastSeenSeconds is how long ago the agent last registered,
+	// requested a lease, heartbeated, or uploaded.
+	LastSeenSeconds float64 `json:"lastSeenSeconds"`
 }
 
 // StatusSnapshot is a point-in-time capture of the fleet view.
 type StatusSnapshot struct {
-	Shards   []ShardStatus `json:"shards"`
+	Shards []ShardStatus `json:"shards"`
+	// Agents are the fleet agent rows (networked dispatches only; local
+	// dispatches have no agents).
+	Agents   []AgentStatus `json:"agents,omitempty"`
 	Done     int           `json:"done"`
 	Total    int           `json:"total"`
 	Restarts int           `json:"restarts"`
-	Folded   int           `json:"folded,omitempty"`
+	// Steals counts lease revocations across all shards (fleet
+	// dispatches; the work-stealing analogue of Restarts).
+	Steals int `json:"steals,omitempty"`
+	Folded int `json:"folded,omitempty"`
 	// ElapsedSeconds is wall-clock time since the tracker was built
 	// (the supervisor builds it just before Run).
 	ElapsedSeconds float64 `json:"elapsedSeconds"`
@@ -126,6 +164,12 @@ func (st *Status) Handle(e Event) {
 		return
 	}
 	s := &st.shards[e.Shard]
+	if e.Agent != "" {
+		s.Agent = e.Agent
+	}
+	if e.Epoch > 0 {
+		s.Epoch = e.Epoch
+	}
 	switch e.Type {
 	case EventStart:
 		s.State = "running"
@@ -133,10 +177,34 @@ func (st *Status) Handle(e Event) {
 		s.Attempt = e.Attempt + 1
 		st.backoffGauge(e.Shard, 0)
 	case EventProgress:
+		s.State = "running"
 		s.Done, s.Total = e.Done, e.Total
 		if st.gDone != nil {
 			st.gDone[e.Shard].Set(float64(e.Done))
 			st.gTotal[e.Shard].Set(float64(e.Total))
+		}
+	case EventLease:
+		s.State = "leased"
+		s.LastError = ""
+	case EventSteal:
+		s.State = "stolen"
+		s.Steals++
+		st.steals++
+		if e.Err != nil {
+			s.LastError = e.Err.Error()
+		}
+		if st.reg != nil {
+			st.reg.Counter("veritas_fleet_steals_total").Inc()
+		}
+	case EventUpload:
+		s.State = "done"
+		s.Done = e.Done
+		if s.Total < e.Done {
+			s.Total = e.Done
+		}
+		s.LastError = ""
+		if st.gDone != nil {
+			st.gDone[e.Shard].Set(float64(e.Done))
 		}
 	case EventExit:
 		if e.Err == nil {
@@ -182,15 +250,27 @@ func (st *Status) exitCounter(shard int, ok bool) {
 	st.reg.Counter(fmt.Sprintf("veritas_dispatch_worker_exits_total{shard=%q,outcome=%q}", fmt.Sprint(shard), outcome)).Inc()
 }
 
+// SetAgentSource registers fn as the supplier of fleet agent rows;
+// Snapshot calls it (outside st.mu) so /v1/status shows live agent
+// liveness from the fleetd dispatcher's lease table. Call before the
+// first Snapshot; nil leaves agent rows off (local dispatches).
+func (st *Status) SetAgentSource(fn func() []AgentStatus) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.agents = fn
+}
+
 // Snapshot captures the current fleet view.
 func (st *Status) Snapshot() StatusSnapshot {
 	// The supervisor registry snapshot is taken outside st.mu: callback
 	// metrics may take arbitrary locks.
 	merged := st.reg.Snapshot()
 	st.mu.Lock()
+	agents := st.agents
 	out := StatusSnapshot{
 		Shards:         append([]ShardStatus(nil), st.shards...),
 		Restarts:       st.total,
+		Steals:         st.steals,
 		Folded:         st.folded,
 		ElapsedSeconds: time.Since(st.start).Seconds(),
 	}
@@ -204,6 +284,9 @@ func (st *Status) Snapshot() StatusSnapshot {
 		merged = merged.Merge(snap)
 	}
 	out.Telemetry = merged
+	if agents != nil {
+		out.Agents = agents()
+	}
 	return out
 }
 

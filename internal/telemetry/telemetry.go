@@ -30,8 +30,10 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -413,6 +415,50 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		}
 	}
 	return out
+}
+
+// Relabel returns a copy of s with label key=value appended to every
+// metric name. It is how a fleet dispatcher keeps per-agent provenance:
+// an agent's streamed snapshot is relabeled with agent="<id>" before it
+// joins the merged fleet view, so identically named series from
+// different agents stay distinct columns instead of summing into one.
+// A metric that already carries the key keeps its existing value (the
+// nearer attribution wins); names with no label set gain one.
+func (s Snapshot) Relabel(key, value string) Snapshot {
+	out := Snapshot{}
+	if len(s.Counters) > 0 {
+		out.Counters = make(map[string]uint64, len(s.Counters))
+		for k, v := range s.Counters {
+			out.Counters[relabelName(k, key, value)] = v
+		}
+	}
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[relabelName(k, key, value)] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		out.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for k, v := range s.Histograms {
+			out.Histograms[relabelName(k, key, value)] = cloneHist(v)
+		}
+	}
+	return out
+}
+
+// relabelName splices label key=value into a metric name that may or
+// may not already carry a {...} label set.
+func relabelName(name, key, value string) string {
+	quoted := fmt.Sprintf("%s=%q", key, value)
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name + "{" + quoted + "}"
+	}
+	if strings.Contains(name[i:], key+"=") {
+		return name
+	}
+	return name[:len(name)-1] + "," + quoted + "}"
 }
 
 func cloneHist(h HistogramSnapshot) HistogramSnapshot {

@@ -54,12 +54,19 @@ func WriteChrome(w io.Writer, traces []Trace) error {
 	for i, t := range traces {
 		tid := i + 1
 		ts := t.Wall.Sub(epoch).Microseconds()
+		// Traces stamped with a fleet agent carry it in the thread name,
+		// so a Perfetto timeline says which machine ran what. Unstamped
+		// traces keep the exact pre-fleet name (golden-test pinned).
+		name := fmt.Sprintf("%s %s", t.Kind, t.ID)
+		if t.Agent != "" {
+			name = fmt.Sprintf("%s %s @%s", t.Kind, t.ID, t.Agent)
+		}
 		file.TraceEvents = append(file.TraceEvents, chromeEvent{
 			Name: "thread_name",
 			Ph:   "M",
 			Pid:  t.Shard,
 			Tid:  tid,
-			Args: map[string]any{"name": fmt.Sprintf("%s %s", t.Kind, t.ID)},
+			Args: map[string]any{"name": name},
 		})
 		args := make(map[string]any, len(t.Attrs)+1)
 		for k, v := range t.Attrs {

@@ -74,6 +74,11 @@ type Trace struct {
 	// Shard is the shard index the trace came from, set by dispatch
 	// workers so a fleet-wide view keeps provenance.
 	Shard int `json:"shard,omitempty"`
+	// Agent names the fleet agent the trace came from, stamped by a
+	// fleet dispatcher on traces heartbeated over the wire so the merged
+	// view says which machine ran what (work stealing can move a shard
+	// between agents mid-campaign).
+	Agent string `json:"agent,omitempty"`
 	// Wall anchors the trace on the wall clock (export timelines align
 	// traces from different processes by it); Dur is monotonic-clock
 	// elapsed seconds.
