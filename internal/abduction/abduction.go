@@ -41,6 +41,14 @@ type Config struct {
 	// from this session before inference (an extension beyond the
 	// paper's fixed tridiagonal prior).
 	FitTransitions int
+	// Scratch, when set, is the reusable inference arena every buffer of
+	// the abduction — observations, Viterbi path, posterior slabs,
+	// sampled paths — is carved from, making repeat abductions through
+	// the same arena allocation-flat. The returned Abduction then aliases
+	// the arena and is valid only until the next Abduct with the same
+	// Scratch (see hmm.Scratch); leave nil for results that must outlive
+	// it. Not safe for concurrent use: one Scratch per goroutine.
+	Scratch *hmm.Scratch
 }
 
 func (c Config) withDefaults(maxObservedMbps float64) Config {
@@ -85,13 +93,25 @@ type Abduction struct {
 // Observations converts a session log into the EHMM's evidence sequence.
 // deltaSecs is the GTBW interval length δ.
 func Observations(log *player.SessionLog, deltaSecs float64) ([]hmm.Observation, error) {
+	return observationsInto(nil, log, deltaSecs)
+}
+
+// observationsInto is Observations with an optional arena: with a
+// scratch it fills the arena's reusable observation buffer instead of
+// allocating.
+func observationsInto(sc *hmm.Scratch, log *player.SessionLog, deltaSecs float64) ([]hmm.Observation, error) {
 	if log == nil || len(log.Records) == 0 {
 		return nil, errors.New("abduction: empty session log")
 	}
 	if deltaSecs <= 0 {
 		return nil, fmt.Errorf("abduction: delta %v <= 0", deltaSecs)
 	}
-	obs := make([]hmm.Observation, len(log.Records))
+	var obs []hmm.Observation
+	if sc != nil {
+		obs = sc.Observations(len(log.Records))
+	} else {
+		obs = make([]hmm.Observation, len(log.Records))
+	}
 	for i, r := range log.Records {
 		obs[i] = hmm.Observation{
 			ThroughputMbps: r.ThroughputMbps,
@@ -122,7 +142,8 @@ func Abduct(log *player.SessionLog, cfg Config) (*Abduction, error) {
 	if err != nil {
 		return nil, err
 	}
-	obs, err := Observations(log, cfg.HMM.DeltaSecs)
+	model.SetScratch(cfg.Scratch)
+	obs, err := observationsInto(cfg.Scratch, log, cfg.HMM.DeltaSecs)
 	if err != nil {
 		return nil, err
 	}
@@ -141,24 +162,21 @@ func Abduct(log *player.SessionLog, cfg Config) (*Abduction, error) {
 		}
 		model = fit.Model
 	}
-	viterbi, _, err := model.Viterbi(obs)
-	if err != nil {
-		return nil, err
-	}
-	post, err := model.ForwardBackward(obs)
-	if err != nil {
-		return nil, err
-	}
-	paths, err := model.SampleK(obs, cfg.NumSamples, cfg.Seed)
+	// One Infer computes the gap vector and the log-emission table once
+	// and shares them across Viterbi, forward–backward and the K
+	// samples; running the three entry points separately evaluates the
+	// emission table (the dominant estimator work) four times. All are
+	// pure functions of (obs, K, seed), so results are bit-identical.
+	inf, err := model.Infer(obs, cfg.NumSamples, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	return &Abduction{
 		Model:        model,
 		Observations: obs,
-		ViterbiPath:  viterbi,
-		Posterior:    post,
-		SampledPaths: paths,
+		ViterbiPath:  inf.Path,
+		Posterior:    inf.Post,
+		SampledPaths: inf.Samples,
 		log:          log,
 		cfg:          cfg,
 	}, nil

@@ -47,10 +47,11 @@ type estRow struct {
 }
 
 // estimatorCache memoizes tcp.EstimateThroughput for one session's
-// abduction. One abduction evaluates the emission table four times
-// (Viterbi + forward–backward, each run directly and again inside
-// SampleK) over identical (state, chunk) pairs, so roughly three of
-// every four calls hit.
+// abduction. Abductions that fit transitions evaluate the emission
+// table twice (once for the EM interval chain, once for single-pass
+// inference), and chunks sharing a TCP state and size hit each other's
+// rows within a pass, so the cache still removes repeated estimator
+// work even though standard inference now computes the table once.
 //
 // f is pure, so equal inputs always give equal outputs and memoization
 // cannot change any inference result. The layout exploits the table's
@@ -61,10 +62,13 @@ type estRow struct {
 // binary-search fallback for out-of-order access.
 //
 // The cache is deliberately unsynchronized: each session job runs on a
-// single worker goroutine, and a fresh cache per session keeps memory
-// bounded at O(states × chunks) however large the corpus is.
+// single worker goroutine. Engine workers own one cache each and reset
+// it between sessions, recycling the row storage through a freelist so
+// memory stays bounded at O(states × chunks of the largest session)
+// however large the corpus is.
 type estimatorCache struct {
 	rows         map[chunkKey]*estRow
+	free         []*estRow // emptied rows awaiting reuse after a reset
 	lastKey      chunkKey
 	lastRow      *estRow
 	hits, misses uint64
@@ -72,6 +76,27 @@ type estimatorCache struct {
 
 func newEstimatorCache() *estimatorCache {
 	return &estimatorCache{rows: make(map[chunkKey]*estRow)}
+}
+
+// reset prepares the cache for the next session: rows return to the
+// freelist with their slice capacity intact, the map keeps its buckets,
+// and the counters zero. A reset cache answers every lookup exactly as
+// a fresh one — recycled rows start empty — so per-session results are
+// independent of how many sessions a worker ran before.
+func (c *estimatorCache) reset() {
+	if c.rows == nil {
+		c.rows = make(map[chunkKey]*estRow)
+	}
+	for k, r := range c.rows {
+		r.gtbws = r.gtbws[:0]
+		r.vals = r.vals[:0]
+		r.cursor = 0
+		c.free = append(c.free, r)
+		delete(c.rows, k)
+	}
+	c.lastKey = chunkKey{}
+	c.lastRow = nil
+	c.hits, c.misses = 0, 0
 }
 
 // release drops the cached rows. A retained Abduction keeps the
@@ -102,7 +127,12 @@ func (c *estimatorCache) estimate(gtbwMbps float64, st tcp.State, sizeBytes floa
 	if row == nil || k != c.lastKey {
 		row = c.rows[k]
 		if row == nil {
-			row = &estRow{}
+			if n := len(c.free); n > 0 {
+				row = c.free[n-1]
+				c.free = c.free[:n-1]
+			} else {
+				row = &estRow{}
+			}
 			c.rows[k] = row
 		}
 		row.cursor = 0 // a key change starts a fresh scan of the row

@@ -10,12 +10,19 @@
 //   - Sharding: the corpus is split into contiguous shards pulled from
 //     a shared queue, so workers stay busy even when session costs are
 //     skewed (long rebuffering sessions abduce more intervals).
+//   - Scratch arenas: each worker owns one hmm.Scratch sized by the
+//     largest session shape it has seen and recycled across its whole
+//     corpus slice, so the per-session inference path is
+//     allocation-flat. Retained abductions (Config.KeepAbductions)
+//     would alias recycled memory, so that mode falls back to fresh
+//     per-session buffers.
 //   - Memoization: the hot TCP-emission computation f(c, W, S) is
-//     cached per session. One abduction evaluates the emission table
-//     four times over identical inputs (Viterbi and forward–backward,
-//     each run twice: once directly and once inside the sampler), so
-//     the cache removes ~3/4 of all estimator calls. Hit/miss counts
-//     are aggregated across the fleet.
+//     memoized per session (abductions that fit transitions evaluate
+//     the emission table once for EM and once for inference; the
+//     single-pass standard path keeps the cache for chunks sharing a
+//     TCP state and size). Hit/miss counts are aggregated across the
+//     fleet; the cache rows themselves live in a worker-owned arena
+//     reset between sessions.
 //   - Aggregation: per-session results stream into a thread-safe
 //     Aggregator; aggregates are computed in session order so results
 //     are byte-identical for every worker count.
@@ -32,6 +39,7 @@ import (
 
 	"veritas/internal/abduction"
 	"veritas/internal/abr"
+	"veritas/internal/hmm"
 	"veritas/internal/mathx"
 	"veritas/internal/netem"
 	"veritas/internal/player"
@@ -259,6 +267,12 @@ type Result struct {
 	// when several fleet runs (or other mathx.SharedPowers users)
 	// overlap in one process.
 	Powers CacheStats
+	// PowersDetail splits Powers.Misses by cause — cold (first sight of
+	// a grid, inserted), fingerprint collision (never cacheable), and
+	// registry capacity (cap reached) — the split a cache-health gauge
+	// needs, since only repeated collision/capacity misses indicate a
+	// thrashing fleet.
+	PowersDetail mathx.SharedPowersStats
 	// Executed is the number of sessions actually run (corpus size
 	// minus the resume skip set and any out-of-shard sessions).
 	Executed int
@@ -312,7 +326,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 			executed++
 		}
 	}
-	powHits0, powMisses0 := mathx.SharedPowerStats()
+	pow0 := mathx.SharedPowersDetail()
 	em := newEngineMetrics(cfg.Telemetry)
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -357,6 +371,20 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker reusable state: the inference arena and the
+			// emission-memo row storage, sized by the largest session
+			// this worker sees and recycled across its whole slice.
+			// KeepAbductions retains per-session results that would
+			// alias the recycled arena, so that mode allocates fresh
+			// buffers per session instead.
+			var sc *hmm.Scratch
+			var wcache *estimatorCache
+			if !cfg.KeepAbductions {
+				sc = hmm.NewScratch()
+				if !cfg.DisableCache {
+					wcache = newEstimatorCache()
+				}
+			}
 			for sh := range shards {
 				for i := sh.lo; i < sh.hi; i++ {
 					if runCtx.Err() != nil {
@@ -366,7 +394,7 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 						continue
 					}
 					tb := cfg.Tracer.Start("session", specID(corpus[i], i))
-					res, err := runOne(cfg, corpus[i], arms, i, em, tb)
+					res, err := runOne(cfg, corpus[i], arms, i, sc, wcache, em, tb)
 					tb.Finish(err)
 					if err != nil {
 						fail(fmt.Errorf("engine: session %d (%s): %w", i, corpus[i].ID, err))
@@ -411,16 +439,17 @@ func Run(ctx context.Context, cfg Config, corpus []SessionSpec, arms []Arm) (*Re
 		return nil, err
 	}
 
-	powHits, powMisses := mathx.SharedPowerStats()
-	em.powers(CacheStats{Hits: powHits - powHits0, Misses: powMisses - powMisses0})
+	powDelta := mathx.SharedPowersDetail().Sub(pow0)
+	em.powers(powDelta)
 	return &Result{
-		Sessions: results,
-		Agg:      agg,
-		Cache:    CacheStats{Hits: cacheHits.Load(), Misses: cacheMisses.Load()},
-		Powers:   CacheStats{Hits: powHits - powHits0, Misses: powMisses - powMisses0},
-		Executed: executed,
-		Workers:  workers,
-		Elapsed:  time.Since(start),
+		Sessions:     results,
+		Agg:          agg,
+		Cache:        CacheStats{Hits: cacheHits.Load(), Misses: cacheMisses.Load()},
+		Powers:       CacheStats{Hits: powDelta.Hits, Misses: powDelta.Misses()},
+		PowersDetail: powDelta,
+		Executed:     executed,
+		Workers:      workers,
+		Elapsed:      time.Since(start),
 	}, nil
 }
 
@@ -435,10 +464,12 @@ func specID(spec SessionSpec, idx int) string {
 
 // runOne executes the full pipeline for one session. It is pure given
 // the spec and index — em and tb only observe durations and counts,
-// never steering computation — which is what makes fleet results
-// independent of worker count, scheduling, telemetry, and tracing.
-// The caller finishes tb with runOne's error.
-func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics, tb *tracing.T) (SessionResult, error) {
+// never steering computation, and the worker-owned sc/wcache only
+// recycle storage (a reset cache and a recycled arena behave exactly
+// like fresh ones) — which is what makes fleet results independent of
+// worker count, scheduling, telemetry, and tracing. The caller
+// finishes tb with runOne's error.
+func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, sc *hmm.Scratch, wcache *estimatorCache, em *engineMetrics, tb *tracing.T) (SessionResult, error) {
 	res := SessionResult{Index: idx, ID: specID(spec, idx), Scenario: spec.Scenario}
 	sessStart := em.now()
 	if spec.Scenario != "" {
@@ -498,9 +529,17 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics
 		// posteriors whatever the worker count.
 		acfg.Seed = cfg.Seed + 1 + int64(idx)*101
 	}
+	acfg.Scratch = sc // nil under KeepAbductions: results must own their buffers
 	var cache *estimatorCache
 	if !cfg.DisableCache {
-		cache = newEstimatorCache()
+		if cache = wcache; cache != nil {
+			// Worker-owned cache: recycle the row storage, zero the
+			// counters. A reset cache answers every lookup exactly as a
+			// fresh one would.
+			cache.reset()
+		} else {
+			cache = newEstimatorCache()
+		}
 		acfg.HMM.Estimator = cache.estimate
 		// Sessions with equal capacity grids share one process-wide
 		// transition-power cache (see mathx.SharedPowers).
@@ -515,10 +554,13 @@ func runOne(cfg Config, spec SessionSpec, arms []Arm, idx int, em *engineMetrics
 	em.observe(em.abduct, abductStart)
 	if cache != nil {
 		res.Cache = cache.stats()
-		// The abduction's config keeps the estimator closure alive;
-		// nothing after inference evaluates emissions, so free the rows
-		// now rather than pinning them for retained abductions.
-		cache.release()
+		if cache != wcache {
+			// A per-session cache is kept alive by the retained
+			// abduction's estimator closure; nothing after inference
+			// evaluates emissions, so free the rows rather than pinning
+			// them. (The worker-owned cache is recycled instead.)
+			cache.release()
+		}
 	}
 	tb.Span("abduct", abductT0, map[string]any{
 		"cacheHits":   res.Cache.Hits,

@@ -133,9 +133,44 @@ func TestCacheDoesNotChangeResults(t *testing.T) {
 	}
 }
 
-// TestCacheAccounting checks the hit/miss bookkeeping: one abduction
-// evaluates the emission table four times over identical inputs, so
-// roughly three of every four estimator calls must hit.
+// TestArenaDoesNotChangeResults pins that the per-worker scratch arena
+// is purely an allocation optimization: a run that recycles arenas
+// across sessions (the default) and a run that allocates fresh buffers
+// per session (KeepAbductions) produce byte-identical aggregates. One
+// worker forces every session of the corpus through the same arena —
+// the worst case for cross-session bleed.
+func TestArenaDoesNotChangeResults(t *testing.T) {
+	corpus := testCorpus(t, 2)
+	arms := testArms(30)
+	arena, err := Run(context.Background(), Config{Workers: 1, Samples: 3, Seed: 1}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(context.Background(), Config{Workers: 1, Samples: 3, Seed: 1, KeepAbductions: true}, corpus, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(arena) != fingerprint(fresh) {
+		t.Error("arena reuse changed inference results")
+	}
+	// Retained abductions must own their buffers: sessions on the same
+	// worker must not alias one shared arena.
+	for i := 1; i < len(fresh.Sessions); i++ {
+		a, b := fresh.Sessions[i-1].Abd, fresh.Sessions[i].Abd
+		if a == nil || b == nil {
+			t.Fatal("KeepAbductions did not retain abductions")
+		}
+		if len(a.ViterbiPath) > 0 && len(b.ViterbiPath) > 0 && &a.ViterbiPath[0] == &b.ViterbiPath[0] {
+			t.Fatal("retained abductions alias the same path buffer")
+		}
+	}
+}
+
+// TestCacheAccounting checks the hit/miss bookkeeping. Since the
+// single-pass Infer landed, standard abduction evaluates the emission
+// table exactly once, so misses are bounded by distinct-chunk-rows ×
+// grid-states and hits only come from chunks sharing a TCP state and
+// size; the invariants here are about accounting, not a hit-rate floor.
 func TestCacheAccounting(t *testing.T) {
 	corpus := testCorpus(t, 1)
 	res, err := Run(context.Background(), Config{Workers: 2, Samples: 3, Seed: 1}, corpus, nil)
@@ -148,15 +183,30 @@ func TestCacheAccounting(t *testing.T) {
 	if res.Cache.Hits+res.Cache.Misses != res.Cache.Lookups() {
 		t.Error("hits + misses != lookups")
 	}
-	if hr := res.Cache.HitRate(); hr < 0.7 {
-		t.Errorf("hit rate %.3f, want >= 0.7 (emission table is evaluated 4x per abduction)", hr)
-	}
 	var perSession uint64
 	for _, s := range res.Sessions {
 		perSession += s.Cache.Hits + s.Cache.Misses
 	}
 	if perSession != res.Cache.Lookups() {
 		t.Error("per-session cache stats do not sum to the fleet total")
+	}
+}
+
+// TestCacheHitsWithFitTransitions pins where the emission memo still
+// earns its keep after the single-pass refactor: a transition-fitting
+// abduction evaluates the emission table once for the EM interval chain
+// and once for inference, so at least the inference pass must hit.
+func TestCacheHitsWithFitTransitions(t *testing.T) {
+	corpus := testCorpus(t, 1)
+	for i := range corpus {
+		corpus[i].Abduct.FitTransitions = 2
+	}
+	res, err := Run(context.Background(), Config{Workers: 1, Samples: 2, Seed: 1}, corpus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := res.Cache.HitRate(); hr < 0.4 {
+		t.Errorf("hit rate %.3f with FitTransitions, want >= 0.4 (EM pass + inference pass share rows)", hr)
 	}
 }
 

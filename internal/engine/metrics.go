@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"veritas/internal/mathx"
 	"veritas/internal/telemetry"
 )
 
@@ -27,6 +28,13 @@ type engineMetrics struct {
 	cacheMisses *telemetry.Counter
 	powerHits   *telemetry.Counter
 	powerMisses *telemetry.Counter
+	// The power-cache miss split by cause: cold misses are healthy
+	// one-per-grid warmup, collision and capacity misses repeat on
+	// every lookup and indicate a thrashing registry. The plain
+	// powerMisses total stays for dashboard compatibility.
+	powerColdMisses      *telemetry.Counter
+	powerCollisionMisses *telemetry.Counter
+	powerCapacityMisses  *telemetry.Counter
 }
 
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
@@ -46,6 +54,10 @@ func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 		cacheMisses: reg.Counter("veritas_engine_emission_cache_misses_total"),
 		powerHits:   reg.Counter("veritas_engine_power_cache_hits_total"),
 		powerMisses: reg.Counter("veritas_engine_power_cache_misses_total"),
+
+		powerColdMisses:      reg.Counter(`veritas_engine_power_cache_miss_total{cause="cold"}`),
+		powerCollisionMisses: reg.Counter(`veritas_engine_power_cache_miss_total{cause="collision"}`),
+		powerCapacityMisses:  reg.Counter(`veritas_engine_power_cache_miss_total{cause="capacity"}`),
 	}
 }
 
@@ -73,8 +85,12 @@ func (m *engineMetrics) sessionDone(t0 time.Time, cache CacheStats) {
 	m.cacheMisses.Add(cache.Misses)
 }
 
-// powers records the run's shared transition-power cache delta.
-func (m *engineMetrics) powers(p CacheStats) {
+// powers records the run's shared transition-power cache delta, both
+// the legacy hit/miss totals and the per-cause miss split.
+func (m *engineMetrics) powers(p mathx.SharedPowersStats) {
 	m.powerHits.Add(p.Hits)
-	m.powerMisses.Add(p.Misses)
+	m.powerMisses.Add(p.Misses())
+	m.powerColdMisses.Add(p.ColdMisses)
+	m.powerCollisionMisses.Add(p.CollisionMisses)
+	m.powerCapacityMisses.Add(p.CapacityMisses)
 }

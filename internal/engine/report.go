@@ -151,8 +151,9 @@ func (r *Result) WriteEngineStats(w io.Writer) error {
 	fmt.Fprintf(&b, "emission cache: %d lookups, %.1f%% hit rate (%d hits, %d misses)\n",
 		r.Cache.Lookups(), r.Cache.HitRate()*100, r.Cache.Hits, r.Cache.Misses)
 	if r.Powers.Lookups() > 0 {
-		fmt.Fprintf(&b, "transition-power cache: %d lookups, %.1f%% shared (%d hits, %d new grids)\n",
-			r.Powers.Lookups(), r.Powers.HitRate()*100, r.Powers.Hits, r.Powers.Misses)
+		fmt.Fprintf(&b, "transition-power cache: %d lookups, %.1f%% shared (%d hits, %d new grids, %d collision, %d over-cap)\n",
+			r.Powers.Lookups(), r.Powers.HitRate()*100, r.Powers.Hits,
+			r.PowersDetail.ColdMisses, r.PowersDetail.CollisionMisses, r.PowersDetail.CapacityMisses)
 	}
 	fmt.Fprintf(&b, "elapsed %v, %d sessions executed (%.2f sessions/sec)\n",
 		r.Elapsed.Round(1e6), r.Executed, r.SessionsPerSecond())

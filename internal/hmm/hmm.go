@@ -97,14 +97,16 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Model is an immutable EHMM ready for inference. Construct with New.
+// Model is an immutable EHMM ready for inference (the optional scratch
+// arena attached via SetScratch is the one piece of mutable state, and
+// it never influences results). Construct with New.
 type Model struct {
 	cfg      Config
 	states   []float64 // states[i] = i*ε Mbps
 	initDist []float64 // uniform u
 	trans    *mathx.Matrix
 	powCache *mathx.PowerCache
-	logPow   map[int]*mathx.Matrix // memoized element-wise log of A^k
+	sc       *Scratch // optional reusable inference arena
 }
 
 // New builds the model: a capacity grid {0, ε, 2ε, …, ⌊Max/ε⌋·ε}, a
@@ -208,33 +210,39 @@ func (m *Model) EmissionLogProb(obs Observation, i int) float64 {
 	return mathx.NormalLogPDF(obs.ThroughputMbps, pred, m.cfg.Sigma)
 }
 
-// gaps returns Δn for n = 1..N-1 (Δ[0] unused, kept for alignment) and
-// validates ordering.
-func gaps(obs []Observation) ([]int, error) {
-	d := make([]int, len(obs))
+// gapsInto fills d (length len(obs)) with Δn for n = 1..N-1 (d[0] is
+// unused, kept for alignment) and validates ordering.
+func gapsInto(d []int, obs []Observation) error {
+	if len(obs) > 0 {
+		d[0] = 0
+	}
 	for n := 1; n < len(obs); n++ {
 		g := obs[n].StartInterval - obs[n-1].StartInterval
 		if g < 0 {
-			return nil, fmt.Errorf("hmm: observations out of order at %d (interval %d < %d)",
+			return fmt.Errorf("hmm: observations out of order at %d (interval %d < %d)",
 				n, obs[n].StartInterval, obs[n-1].StartInterval)
 		}
 		d[n] = g
 	}
-	return d, nil
+	return nil
 }
 
-// emissionTable precomputes log-emissions [n][i]; shared by Viterbi and
-// forward–backward.
-func (m *Model) emissionTable(obs []Observation) [][]float64 {
-	tab := make([][]float64, len(obs))
-	for n, o := range obs {
-		row := make([]float64, len(m.states))
-		for i := range m.states {
-			row[i] = m.EmissionLogProb(o, i)
-		}
-		tab[n] = row
+// emissionTableInto fills the N×S row-major slab tab with log-emissions
+// tab[n*S+i] = log P(Y_n | W, S, C = iε); shared by Viterbi and
+// forward–backward, computed once per inference.
+func (m *Model) emissionTableInto(tab []float64, obs []Observation) {
+	ns := len(m.states)
+	est := m.cfg.Estimator
+	if est == nil {
+		est = tcp.EstimateThroughput
 	}
-	return tab
+	for n, o := range obs {
+		row := tab[n*ns : (n+1)*ns]
+		for i := range m.states {
+			pred := est(m.states[i], o.TCP, o.SizeBytes)
+			row[i] = mathx.NormalLogPDF(o.ThroughputMbps, pred, m.cfg.Sigma)
+		}
+	}
 }
 
 // ErrNoObservations is returned by inference entry points on empty input.

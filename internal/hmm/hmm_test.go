@@ -220,9 +220,9 @@ func TestForwardBackwardGammaNormalized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for n, g := range post.Gamma {
+	for n := 0; n < post.Len(); n++ {
 		var s float64
-		for _, v := range g {
+		for _, v := range post.Gamma(n) {
 			if v < -1e-12 {
 				t.Fatalf("negative posterior at chunk %d", n)
 			}
@@ -232,12 +232,10 @@ func TestForwardBackwardGammaNormalized(t *testing.T) {
 			t.Fatalf("Gamma[%d] sums to %v", n, s)
 		}
 	}
-	for n, pair := range post.Pair {
+	for n := 0; n < post.Len()-1; n++ {
 		var s float64
-		for _, row := range pair {
-			for _, v := range row {
-				s += v
-			}
+		for _, v := range post.Pair(n) {
+			s += v
 		}
 		if math.Abs(s-1) > 1e-9 {
 			t.Fatalf("Pair[%d] sums to %v", n, s)
@@ -259,25 +257,25 @@ func TestPairMarginalsMatchGamma(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for n := 0; n < len(post.Pair); n++ {
+	for n := 0; n < post.Len()-1; n++ {
 		for i := 0; i < m.NumStates(); i++ {
 			var rowSum float64
 			for j := 0; j < m.NumStates(); j++ {
-				rowSum += post.Pair[n][i][j]
+				rowSum += post.PairAt(n, i, j)
 			}
-			if math.Abs(rowSum-post.Gamma[n][i]) > 1e-6 {
+			if math.Abs(rowSum-post.Gamma(n)[i]) > 1e-6 {
 				t.Fatalf("Σ_j Pair[%d][%d][j] = %v != Gamma[%d][%d] = %v",
-					n, i, rowSum, n, i, post.Gamma[n][i])
+					n, i, rowSum, n, i, post.Gamma(n)[i])
 			}
 		}
 		for j := 0; j < m.NumStates(); j++ {
 			var colSum float64
 			for i := 0; i < m.NumStates(); i++ {
-				colSum += post.Pair[n][i][j]
+				colSum += post.PairAt(n, i, j)
 			}
-			if math.Abs(colSum-post.Gamma[n+1][j]) > 1e-6 {
+			if math.Abs(colSum-post.Gamma(n + 1)[j]) > 1e-6 {
 				t.Fatalf("Σ_i Pair[%d][i][%d] = %v != Gamma[%d][%d] = %v",
-					n, j, colSum, n+1, j, post.Gamma[n+1][j])
+					n, j, colSum, n+1, j, post.Gamma(n + 1)[j])
 			}
 		}
 	}
@@ -293,10 +291,11 @@ func TestGammaPeaksNearTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for n := range post.Gamma {
+	for n := 0; n < post.Len(); n++ {
+		g := post.Gamma(n)
 		bi := 0
-		for i, v := range post.Gamma[n] {
-			if v > post.Gamma[n][bi] {
+		for i, v := range g {
+			if v > g[bi] {
 				bi = i
 			}
 		}
@@ -403,7 +402,7 @@ func TestAmbiguousSmallChunksHaveWiderPosterior(t *testing.T) {
 			t.Fatal(err)
 		}
 		var h float64
-		for _, v := range post.Gamma[5] {
+		for _, v := range post.Gamma(5) {
 			if v > 1e-12 {
 				h -= v * math.Log(v)
 			}

@@ -1,0 +1,60 @@
+package hmm
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Inference bundles everything one abduction needs from the model: the
+// Viterbi path (Algorithm 3), the forward–backward posterior
+// (Algorithm 2), and K posterior capacity samples (Algorithm 1).
+type Inference struct {
+	Path        []int
+	PathLogProb float64
+	Post        *Posterior
+	Samples     [][]int
+}
+
+// Infer runs all three algorithms over one observation sequence,
+// computing the inter-chunk gaps and the log-emission table once and
+// sharing them — where calling Viterbi, ForwardBackward and SampleK
+// separately evaluates the emission table (the hot path's dominant
+// throughput-estimator work) four times. All three are pure functions
+// of (obs, k, seed), so the combined result is bit-identical to the
+// separate calls.
+//
+// k may be zero (no samples drawn). With a scratch arena attached via
+// SetScratch, the whole result — path, posterior slabs, samples —
+// points into the arena and obeys the Scratch lifetime contract;
+// without one, the call allocates a private arena the result owns.
+func (m *Model) Infer(obs []Observation, k int, seed int64) (*Inference, error) {
+	if len(obs) == 0 {
+		return nil, ErrNoObservations
+	}
+	if k < 0 {
+		return nil, errors.New("hmm: Infer requires k >= 0")
+	}
+	sc := m.scratch()
+	N := len(obs)
+	sc.chunkSlabs(N, len(m.states))
+	if err := gapsInto(sc.gaps, obs); err != nil {
+		return nil, err
+	}
+	m.emissionTableInto(sc.emitLog, obs)
+
+	path, best := m.viterbiInto(sc, N)
+	post := m.forwardBackwardInto(sc, N)
+
+	inf := &Inference{Path: path, PathLogProb: best, Post: post}
+	if k > 0 {
+		samples := sc.samples(k, N)
+		rng := rand.New(rand.NewSource(seed))
+		for s := 0; s < k; s++ {
+			if err := m.sampleInto(samples[s], sc.weights, rng, post, path); err != nil {
+				return nil, err
+			}
+		}
+		inf.Samples = samples
+	}
+	return inf, nil
+}

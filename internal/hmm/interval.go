@@ -20,84 +20,102 @@ import (
 // transition matrix, offered here as an extension beyond the paper's
 // fixed tridiagonal prior.
 
-// IntervalPosterior holds per-interval smoothed distributions.
+// IntervalPosterior holds per-interval smoothed distributions. The
+// marginals are stored as a T×S row-major slab (carved from the model's
+// scratch arena when one is attached); access them through Gamma.
 type IntervalPosterior struct {
-	// Gamma[t][i] = P(C_t = iε | all observations), t = 0..T-1.
-	Gamma [][]float64
+	gamma []float64 // gamma[t*S+i] = P(C_t = iε | all observations)
+	ns    int
 	// LogLikelihood is log P(Y_1:N | W, S) under the interval chain.
 	LogLikelihood float64
 	// T is the number of intervals covered.
 	T int
 }
 
-// intervalEmissions groups the per-chunk log emissions by start
-// interval: logE[t][i] = Σ_{n: s_n ∈ interval t} log P(Y_n | W, S, C=iε).
+// Gamma returns the marginal posterior over states for interval t:
+// Gamma(t)[i] = P(C_t = iε | all observations), t = 0..T-1.
+func (p *IntervalPosterior) Gamma(t int) []float64 {
+	return p.gamma[t*p.ns : (t+1)*p.ns]
+}
+
+// States returns the size S of the capacity grid.
+func (p *IntervalPosterior) States() int { return p.ns }
+
+// intervalEmissionsInto groups the per-chunk log emissions by start
+// interval into the T×S slab sc.intLogE:
+// logE[t*S+i] = Σ_{n: s_n ∈ interval t} log P(Y_n | W, S, C=iε).
 // Intervals with no chunks contribute zeros (emission probability 1).
-func (m *Model) intervalEmissions(obs []Observation) ([][]float64, int, error) {
+// It sizes sc's interval slabs as a side effect and returns T.
+func (m *Model) intervalEmissionsInto(sc *Scratch, obs []Observation) (int, error) {
 	if len(obs) == 0 {
-		return nil, 0, ErrNoObservations
+		return 0, ErrNoObservations
 	}
-	if _, err := gaps(obs); err != nil {
-		return nil, 0, err
+	sc.gaps = growI(sc.gaps, len(obs))
+	if err := gapsInto(sc.gaps, obs); err != nil {
+		return 0, err
 	}
 	T := obs[len(obs)-1].StartInterval + 1
 	ns := len(m.states)
-	logE := make([][]float64, T)
-	for t := range logE {
-		logE[t] = make([]float64, ns)
+	sc.intervalSlabs(T, ns)
+	logE := sc.intLogE
+	for i := range logE {
+		logE[i] = 0
 	}
 	for _, o := range obs {
+		row := logE[o.StartInterval*ns : (o.StartInterval+1)*ns]
 		for i := 0; i < ns; i++ {
-			logE[o.StartInterval][i] += m.EmissionLogProb(o, i)
+			row[i] += m.EmissionLogProb(o, i)
 		}
 	}
-	return logE, T, nil
+	return T, nil
 }
 
 // IntervalForwardBackward runs scaled forward–backward over the full
-// interval chain.
+// interval chain. With a scratch arena attached the returned posterior
+// points into the arena (see the Scratch lifetime contract).
 func (m *Model) IntervalForwardBackward(obs []Observation) (*IntervalPosterior, error) {
-	logE, T, err := m.intervalEmissions(obs)
+	sc := m.scratch()
+	T, err := m.intervalEmissionsInto(sc, obs)
 	if err != nil {
 		return nil, err
 	}
-	alpha, beta, scale, shift, err := m.intervalPasses(logE, T, m.trans)
-	if err != nil {
+	if err := m.intervalPasses(sc, T, m.trans); err != nil {
 		return nil, err
 	}
 	ns := len(m.states)
-	post := &IntervalPosterior{Gamma: make([][]float64, T), T: T}
+	post := &IntervalPosterior{gamma: sc.intGamma[:T*ns], ns: ns, T: T}
 	for t := 0; t < T; t++ {
-		g := make([]float64, ns)
+		g := post.Gamma(t)
+		at := sc.intAlpha[t*ns : (t+1)*ns]
+		bt := sc.intBeta[t*ns : (t+1)*ns]
 		for i := 0; i < ns; i++ {
-			g[i] = alpha[t][i] * beta[t][i]
+			g[i] = at[i] * bt[i]
 		}
 		mathx.Normalize(g)
-		post.Gamma[t] = g
 	}
 	var ll float64
 	for t := 0; t < T; t++ {
-		if scale[t] > 0 {
-			ll += math.Log(scale[t])
+		if sc.intScale[t] > 0 {
+			ll += math.Log(sc.intScale[t])
 		} else {
 			ll = mathx.NegInf
 		}
-		ll += shift[t]
+		ll += sc.intShift[t]
 	}
 	post.LogLikelihood = ll
 	return post, nil
 }
 
 // intervalPasses runs the scaled alpha/beta recursions over T intervals
-// with transition matrix a, returning the per-interval emission shifts
-// so callers can reconstruct the true log-likelihood.
-func (m *Model) intervalPasses(logE [][]float64, T int, a *mathx.Matrix) (alpha, beta [][]float64, scale, shift []float64, err error) {
+// with transition matrix a, reading the log-emission slab sc.intLogE
+// and filling sc.intEmit/intAlpha/intBeta/intScale/intShift. The float
+// operations match the original allocating implementation exactly.
+func (m *Model) intervalPasses(sc *Scratch, T int, a *mathx.Matrix) error {
 	ns := len(m.states)
-	emit := make([][]float64, T)
-	shift = make([]float64, T)
 	for t := 0; t < T; t++ {
+		logRow := sc.intLogE[t*ns : (t+1)*ns]
 		maxLog := mathx.NegInf
-		for _, v := range logE[t] {
+		for _, v := range logRow {
 			if v > maxLog {
 				maxLog = v
 			}
@@ -107,44 +125,45 @@ func (m *Model) intervalPasses(logE [][]float64, T int, a *mathx.Matrix) (alpha,
 			// uninformative.
 			maxLog = 0
 		}
-		shift[t] = maxLog
-		row := make([]float64, ns)
-		for i, v := range logE[t] {
+		sc.intShift[t] = maxLog
+		row := sc.intEmit[t*ns : (t+1)*ns]
+		for i, v := range logRow {
 			row[i] = math.Exp(v - maxLog)
 		}
-		emit[t] = row
 	}
 
-	alpha = make([][]float64, T)
-	scale = make([]float64, T)
-	cur := make([]float64, ns)
+	alphaRow := func(t int) []float64 { return sc.intAlpha[t*ns : (t+1)*ns] }
+	betaRow := func(t int) []float64 { return sc.intBeta[t*ns : (t+1)*ns] }
+	emitRow := func(t int) []float64 { return sc.intEmit[t*ns : (t+1)*ns] }
+
+	a0, e0 := alphaRow(0), emitRow(0)
 	for i := 0; i < ns; i++ {
-		cur[i] = m.initDist[i] * emit[0][i]
+		a0[i] = m.initDist[i] * e0[i]
 	}
-	scale[0] = mathx.Normalize(cur)
-	alpha[0] = append([]float64(nil), cur...)
+	sc.intScale[0] = mathx.Normalize(a0)
 	for t := 1; t < T; t++ {
-		pred := a.VecMul(alpha[t-1])
+		pred := alphaRow(t)
+		a.VecMulInto(pred, alphaRow(t-1))
+		et := emitRow(t)
 		for j := 0; j < ns; j++ {
-			pred[j] *= emit[t][j]
+			pred[j] *= et[j]
 		}
-		scale[t] = mathx.Normalize(pred)
-		if scale[t] == 0 {
-			return nil, nil, nil, nil, fmt.Errorf("hmm: interval chain died at t=%d (no state has support)", t)
+		sc.intScale[t] = mathx.Normalize(pred)
+		if sc.intScale[t] == 0 {
+			return fmt.Errorf("hmm: interval chain died at t=%d (no state has support)", t)
 		}
-		alpha[t] = pred
 	}
 
-	beta = make([][]float64, T)
-	beta[T-1] = make([]float64, ns)
-	for i := range beta[T-1] {
-		beta[T-1][i] = 1
+	bLast := betaRow(T - 1)
+	for i := range bLast {
+		bLast[i] = 1
 	}
 	for t := T - 2; t >= 0; t-- {
-		row := make([]float64, ns)
-		weighted := make([]float64, ns)
+		row := betaRow(t)
+		weighted := sc.weighted
+		eNext, bNext := emitRow(t+1), betaRow(t+1)
 		for j := 0; j < ns; j++ {
-			weighted[j] = emit[t+1][j] * beta[t+1][j]
+			weighted[j] = eNext[j] * bNext[j]
 		}
 		for i := 0; i < ns; i++ {
 			var s float64
@@ -152,11 +171,10 @@ func (m *Model) intervalPasses(logE [][]float64, T int, a *mathx.Matrix) (alpha,
 			for j := 0; j < ns; j++ {
 				s += arow[j] * weighted[j]
 			}
-			row[i] = s / scale[t+1]
+			row[i] = s / sc.intScale[t+1]
 		}
-		beta[t] = row
 	}
-	return alpha, beta, scale, shift, nil
+	return nil
 }
 
 // FitResult reports one Baum–Welch fit.
@@ -182,7 +200,8 @@ func (m *Model) FitTransitions(obs []Observation, iters int, smoothing float64) 
 	if smoothing < 0 {
 		return nil, errors.New("hmm: smoothing must be non-negative")
 	}
-	logE, T, err := m.intervalEmissions(obs)
+	sc := m.scratch()
+	T, err := m.intervalEmissionsInto(sc, obs)
 	if err != nil {
 		return nil, err
 	}
@@ -190,28 +209,35 @@ func (m *Model) FitTransitions(obs []Observation, iters int, smoothing float64) 
 		return nil, errors.New("hmm: need at least two intervals to fit transitions")
 	}
 	ns := len(m.states)
+	logE := sc.intLogE
 	a := m.trans.Clone()
 	var lls []float64
 
 	for iter := 0; iter < iters; iter++ {
-		alpha, beta, scale, shift, err := m.intervalPasses(logE, T, a)
-		if err != nil {
+		if err := m.intervalPasses(sc, T, a); err != nil {
 			return nil, err
 		}
 		var ll float64
 		for t := 0; t < T; t++ {
-			ll += math.Log(scale[t]) + shift[t]
+			ll += math.Log(sc.intScale[t]) + sc.intShift[t]
 		}
 		lls = append(lls, ll)
 
-		// E step: expected transition counts xi and state visits.
+		// E step: expected transition counts xi and state visits. The
+		// xi accumulator is freshly allocated because it becomes the
+		// next iteration's transition matrix (and, on the last
+		// iteration, the fitted model's — it must not live in scratch).
 		num := mathx.NewMatrix(ns, ns)
-		den := make([]float64, ns)
-		emitNext := make([]float64, ns)
+		den := sc.emDen
+		for i := range den {
+			den[i] = 0
+		}
+		emitNext := sc.emitNext
 		for t := 0; t < T-1; t++ {
 			// Reconstruct scaled emissions for interval t+1.
+			logNext := logE[(t+1)*ns : (t+2)*ns]
 			maxLog := mathx.NegInf
-			for _, v := range logE[t+1] {
+			for _, v := range logNext {
 				if v > maxLog {
 					maxLog = v
 				}
@@ -220,31 +246,33 @@ func (m *Model) FitTransitions(obs []Observation, iters int, smoothing float64) 
 				maxLog = 0
 			}
 			for j := 0; j < ns; j++ {
-				emitNext[j] = math.Exp(logE[t+1][j] - maxLog)
+				emitNext[j] = math.Exp(logNext[j] - maxLog)
 			}
+			alphaT := sc.intAlpha[t*ns : (t+1)*ns]
+			betaNext := sc.intBeta[(t+1)*ns : (t+2)*ns]
 			// Two passes: first the normalizer, then accumulation.
 			var total float64
 			for i := 0; i < ns; i++ {
-				ai := alpha[t][i]
+				ai := alphaT[i]
 				if ai == 0 {
 					continue
 				}
 				arow := a.Row(i)
 				for j := 0; j < ns; j++ {
-					total += ai * arow[j] * emitNext[j] * beta[t+1][j]
+					total += ai * arow[j] * emitNext[j] * betaNext[j]
 				}
 			}
 			if total <= 0 {
 				continue
 			}
 			for i := 0; i < ns; i++ {
-				ai := alpha[t][i]
+				ai := alphaT[i]
 				if ai == 0 {
 					continue
 				}
 				arow := a.Row(i)
 				for j := 0; j < ns; j++ {
-					xi := ai * arow[j] * emitNext[j] * beta[t+1][j] / total
+					xi := ai * arow[j] * emitNext[j] * betaNext[j] / total
 					num.Data[i*ns+j] += xi
 					den[i] += xi
 				}
@@ -278,6 +306,6 @@ func (m *Model) FitTransitions(obs []Observation, iters int, smoothing float64) 
 	}
 	fitted.trans = a
 	fitted.powCache = mathx.NewPowerCache(a)
-	fitted.logPow = nil
+	fitted.sc = m.sc
 	return &FitResult{Model: fitted, LogLikelihoods: lls}, nil
 }

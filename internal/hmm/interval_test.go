@@ -16,10 +16,11 @@ func TestIntervalForwardBackwardShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantT := obs[len(obs)-1].StartInterval + 1
-	if post.T != wantT || len(post.Gamma) != wantT {
+	if post.T != wantT {
 		t.Fatalf("T = %d, want %d", post.T, wantT)
 	}
-	for tt, g := range post.Gamma {
+	for tt := 0; tt < post.T; tt++ {
+		g := post.Gamma(tt)
 		var s float64
 		for _, v := range g {
 			if v < -1e-12 {
@@ -53,8 +54,8 @@ func TestIntervalPosteriorMatchesChunkPosterior(t *testing.T) {
 	}
 	for n, o := range obs {
 		for i := 0; i < m.NumStates(); i++ {
-			a := chunkPost.Gamma[n][i]
-			b := intPost.Gamma[o.StartInterval][i]
+			a := chunkPost.Gamma(n)[i]
+			b := intPost.Gamma(o.StartInterval)[i]
 			if math.Abs(a-b) > 1e-6 {
 				t.Fatalf("chunk %d state %d: embedded %v vs interval %v", n, i, a, b)
 			}
@@ -89,9 +90,9 @@ func TestIntervalMultipleChunksPerInterval(t *testing.T) {
 		}
 		return h
 	}
-	if ent(p2.Gamma[0]) > ent(p1.Gamma[0]) {
+	if ent(p2.Gamma(0)) > ent(p1.Gamma(0)) {
 		t.Errorf("doubled evidence should not widen the posterior: %v vs %v",
-			ent(p2.Gamma[0]), ent(p1.Gamma[0]))
+			ent(p2.Gamma(0)), ent(p1.Gamma(0)))
 	}
 }
 

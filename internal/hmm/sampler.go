@@ -15,36 +15,44 @@ import (
 //
 //	π_n(i) ∝ Γ_{i, C_{s_{n+1}}, n}.
 func (m *Model) Sample(rng *rand.Rand, post *Posterior, viterbi []int) ([]int, error) {
-	if post == nil || len(post.Gamma) == 0 {
+	if post == nil || post.Len() == 0 {
 		return nil, errors.New("hmm: Sample requires a posterior")
 	}
-	N := len(post.Gamma)
-	if len(viterbi) != N {
-		return nil, errors.New("hmm: viterbi path length mismatch")
+	out := make([]int, post.Len())
+	weights := make([]float64, len(m.states))
+	if err := m.sampleInto(out, weights, rng, post, viterbi); err != nil {
+		return nil, err
 	}
-	if len(post.Pair) != N-1 {
-		return nil, errors.New("hmm: pairwise posterior length mismatch")
+	return out, nil
+}
+
+// sampleInto draws one sequence into out (length post.Len()) using the
+// caller-supplied weights buffer (length NumStates). Identical sampling
+// logic and RNG consumption to the original Sample.
+func (m *Model) sampleInto(out []int, weights []float64, rng *rand.Rand, post *Posterior, viterbi []int) error {
+	N := post.Len()
+	if len(viterbi) != N {
+		return errors.New("hmm: viterbi path length mismatch")
 	}
 	ns := len(m.states)
-	out := make([]int, N)
 	out[N-1] = viterbi[N-1]
-	weights := make([]float64, ns)
 	for n := N - 2; n >= 0; n-- {
 		nextState := out[n+1]
+		pair := post.Pair(n)
 		var total float64
 		for i := 0; i < ns; i++ {
-			weights[i] = post.Pair[n][i][nextState]
+			weights[i] = pair[i*ns+nextState]
 			total += weights[i]
 		}
 		if total <= 0 {
 			// The conditioned column is numerically empty (the sampled
 			// next state was reachable only via Viterbi ties); fall back
 			// to the marginal, which is always populated.
-			copy(weights, post.Gamma[n])
+			copy(weights, post.Gamma(n))
 		}
 		out[n] = mathx.SampleCategorical(rng, weights)
 	}
-	return out, nil
+	return nil
 }
 
 // SampleK draws k independent state sequences with a deterministic seed,
@@ -53,24 +61,11 @@ func (m *Model) SampleK(obs []Observation, k int, seed int64) ([][]int, error) {
 	if k <= 0 {
 		return nil, errors.New("hmm: SampleK requires k > 0")
 	}
-	viterbi, _, err := m.Viterbi(obs)
+	inf, err := m.Infer(obs, k, seed)
 	if err != nil {
 		return nil, err
 	}
-	post, err := m.ForwardBackward(obs)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed))
-	out := make([][]int, k)
-	for s := 0; s < k; s++ {
-		seq, err := m.Sample(rng, post, viterbi)
-		if err != nil {
-			return nil, err
-		}
-		out[s] = seq
-	}
-	return out, nil
+	return inf.Samples, nil
 }
 
 // ExpectedCapacityAfter returns E[C_{t+gap} | C_t = state]: the mean of

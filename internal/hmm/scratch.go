@@ -1,0 +1,167 @@
+package hmm
+
+// Scratch is a reusable inference arena: every buffer the EHMM's hot
+// path needs — the log-emission table, the scaled forward/backward
+// matrices, the Viterbi score and back-pointer ladders, the posterior
+// slabs and the sampler's weight vector — carved from a handful of
+// grow-only strided slabs sized by the session shape (chunks × states,
+// plus intervals × states for the EM chain). A fleet worker allocates
+// one Scratch and recycles it across its whole corpus slice: after the
+// first (largest-shaped) session, per-session inference is
+// allocation-flat.
+//
+// Lifetime contract: results produced through a Scratch — Posterior and
+// IntervalPosterior slabs, Viterbi paths, sampled paths, observation
+// slices — point INTO the arena and are valid only until the next
+// inference that uses the same Scratch. Callers that retain results
+// across sessions (engine KeepAbductions, ad-hoc API use without a
+// scratch) get freshly allocated buffers instead: every entry point
+// treats a nil Scratch as "allocate a private one for this call", which
+// the result then owns outright.
+//
+// A Scratch is not safe for concurrent use; give each goroutine its
+// own. Reuse is safe across sessions of any shapes because every slab
+// cell an algorithm reads is written earlier in the same inference —
+// nothing is carried over, so no state can bleed between sessions (see
+// TestScratchNoCrossSessionBleed).
+type Scratch struct {
+	// chunk-shaped slabs (N × S, row-major)
+	emitLog []float64 // log P(Y_n | C = iε) table
+	emit    []float64 // per-chunk max-rescaled emissions
+	alpha   []float64 // scaled forward variables
+	beta    []float64 // scaled backward variables
+	gamma   []float64 // posterior marginals (escapes into Posterior)
+	back    []int     // Viterbi back-pointers
+
+	// pairwise posterior slab ((N-1) × S × S, escapes into Posterior)
+	pair []float64
+
+	// chunk-shaped vectors (N)
+	shift []float64 // per-chunk emission rescale factors
+	scale []float64 // forward normalizers
+	gaps  []int     // Δn between consecutive chunk starts
+	path  []int     // Viterbi path (escapes into Inference)
+
+	// state-shaped vectors (S)
+	cur, next []float64 // Viterbi score ping-pong
+	weighted  []float64 // backward-pass emit×beta products
+	weights   []float64 // sampler's categorical weights
+
+	// sample slab (K × N ints, escapes into Inference)
+	sampleSlab []int
+	sampleHdr  [][]int
+
+	// observation buffer (escapes into Abduction via ObservationsInto)
+	obs []Observation
+
+	// interval-chain slabs (T × S) for the EM / interval view; separate
+	// from the chunk slabs because the two views coexist inside one
+	// FitTransitions+Infer pipeline.
+	intLogE  []float64
+	intEmit  []float64
+	intAlpha []float64
+	intBeta  []float64
+	intGamma []float64
+	intShift []float64
+	intScale []float64
+	emitNext []float64 // S, EM xi-accumulation emissions
+	emDen    []float64 // S, EM visit mass
+}
+
+// NewScratch returns an empty arena; slabs grow on first use and are
+// recycled afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// growF resizes a float slab to n cells, reusing capacity when it can.
+// Contents are unspecified — every algorithm writes before it reads.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// chunkSlabs sizes the chunk-view buffers for an N-chunk, S-state
+// session.
+func (sc *Scratch) chunkSlabs(n, s int) {
+	sc.emitLog = growF(sc.emitLog, n*s)
+	sc.emit = growF(sc.emit, n*s)
+	sc.alpha = growF(sc.alpha, n*s)
+	sc.beta = growF(sc.beta, n*s)
+	sc.gamma = growF(sc.gamma, n*s)
+	sc.back = growI(sc.back, n*s)
+	if n > 0 {
+		sc.pair = growF(sc.pair, (n-1)*s*s)
+	}
+	sc.shift = growF(sc.shift, n)
+	sc.scale = growF(sc.scale, n)
+	sc.gaps = growI(sc.gaps, n)
+	sc.path = growI(sc.path, n)
+	sc.cur = growF(sc.cur, s)
+	sc.next = growF(sc.next, s)
+	sc.weighted = growF(sc.weighted, s)
+	sc.weights = growF(sc.weights, s)
+}
+
+// intervalSlabs sizes the interval-view buffers for a T-interval,
+// S-state chain.
+func (sc *Scratch) intervalSlabs(t, s int) {
+	sc.intLogE = growF(sc.intLogE, t*s)
+	sc.intEmit = growF(sc.intEmit, t*s)
+	sc.intAlpha = growF(sc.intAlpha, t*s)
+	sc.intBeta = growF(sc.intBeta, t*s)
+	sc.intGamma = growF(sc.intGamma, t*s)
+	sc.intShift = growF(sc.intShift, t)
+	sc.intScale = growF(sc.intScale, t)
+	sc.weighted = growF(sc.weighted, s)
+	sc.emitNext = growF(sc.emitNext, s)
+	sc.emDen = growF(sc.emDen, s)
+}
+
+// samples sizes the K × N sample slab and returns per-sample row views.
+func (sc *Scratch) samples(k, n int) [][]int {
+	sc.sampleSlab = growI(sc.sampleSlab, k*n)
+	if cap(sc.sampleHdr) < k {
+		sc.sampleHdr = make([][]int, k)
+	}
+	sc.sampleHdr = sc.sampleHdr[:k]
+	for i := 0; i < k; i++ {
+		sc.sampleHdr[i] = sc.sampleSlab[i*n : (i+1)*n : (i+1)*n]
+	}
+	return sc.sampleHdr
+}
+
+// Observations returns the arena's reusable observation buffer resized
+// to n entries (contents unspecified). The abduction layer fills it per
+// session instead of allocating a fresh slice; the same lifetime
+// contract applies.
+func (sc *Scratch) Observations(n int) []Observation {
+	if cap(sc.obs) < n {
+		sc.obs = make([]Observation, n)
+	}
+	sc.obs = sc.obs[:n]
+	return sc.obs
+}
+
+// scratch returns the model's attached arena, or a fresh private one
+// when none is attached — the allocate-per-call behavior pre-arena
+// callers expect.
+func (m *Model) scratch() *Scratch {
+	if m.sc != nil {
+		return m.sc
+	}
+	return &Scratch{}
+}
+
+// SetScratch attaches a reusable inference arena to the model. All
+// subsequent inference calls carve their buffers — including returned
+// posteriors and paths — from it; see the Scratch lifetime contract.
+// A nil scratch restores per-call allocation.
+func (m *Model) SetScratch(sc *Scratch) { m.sc = sc }

@@ -11,29 +11,40 @@ import (
 // Algorithm 3. It differs from textbook Viterbi in one way: the
 // transition between chunks n-1 and n uses A^Δn, the Δn-step power of
 // the per-interval transition matrix, because chunk starts are embedded
-// in wall-clock δ-intervals (Figure 4 of the paper).
+// in wall-clock δ-intervals (Figure 4 of the paper). With a scratch
+// arena attached the returned path points into the arena (see the
+// Scratch lifetime contract).
 func (m *Model) Viterbi(obs []Observation) ([]int, float64, error) {
 	if len(obs) == 0 {
 		return nil, 0, ErrNoObservations
 	}
-	d, err := gaps(obs)
-	if err != nil {
+	sc := m.scratch()
+	sc.chunkSlabs(len(obs), len(m.states))
+	if err := gapsInto(sc.gaps, obs); err != nil {
 		return nil, 0, err
 	}
-	emit := m.emissionTable(obs)
+	m.emissionTableInto(sc.emitLog, obs)
+	path, best := m.viterbiInto(sc, len(obs))
+	return path, best, nil
+}
+
+// viterbiInto is the dynamic program body. It expects sc.chunkSlabs
+// sized for (N, S) and sc.gaps/sc.emitLog filled; back-pointers live in
+// sc.back (N×S row-major) and the returned path in sc.path. The float
+// operations match the original allocating implementation exactly.
+func (m *Model) viterbiInto(sc *Scratch, N int) ([]int, float64) {
 	ns := len(m.states)
-	N := len(obs)
+	d := sc.gaps
 
 	// score[i] = best log-prob of any path ending in state i at chunk n.
-	score := make([]float64, ns)
+	score, next := sc.cur, sc.next
 	for i := 0; i < ns; i++ {
-		score[i] = math.Log(m.initDist[i]) + emit[0][i]
+		score[i] = math.Log(m.initDist[i]) + sc.emitLog[i]
 	}
-	back := make([][]int, N) // back[n][i] = predecessor of i at chunk n
-	next := make([]float64, ns)
 	for n := 1; n < N; n++ {
-		back[n] = make([]int, ns)
-		logA := m.logTransPower(d[n])
+		back := sc.back[n*ns : (n+1)*ns] // back[j] = predecessor of j at chunk n
+		emitN := sc.emitLog[n*ns : (n+1)*ns]
+		logA := m.powCache.PowLog(d[n])
 		for j := 0; j < ns; j++ {
 			bestI, bestV := 0, mathx.NegInf
 			for i := 0; i < ns; i++ {
@@ -46,41 +57,17 @@ func (m *Model) Viterbi(obs []Observation) ([]int, float64, error) {
 					bestI, bestV = i, v
 				}
 			}
-			next[j] = bestV + emit[n][j]
-			back[n][j] = bestI
+			next[j] = bestV + emitN[j]
+			back[j] = bestI
 		}
 		score, next = next, score
 	}
 
 	bestI, bestV := mathx.ArgMax(score)
-	path := make([]int, N)
+	path := sc.path[:N]
 	path[N-1] = bestI
 	for n := N - 1; n > 0; n-- {
-		path[n-1] = back[n][path[n]]
+		path[n-1] = sc.back[n*ns+path[n]]
 	}
-	return path, bestV, nil
-}
-
-// logTransPower returns element-wise log of A^k. Powers are cached by
-// the model's PowerCache; the log view is cheap enough to materialize
-// per call for the small grids Veritas uses, but we memoize it anyway
-// because sessions reuse a handful of Δ values thousands of times.
-func (m *Model) logTransPower(k int) *mathx.Matrix {
-	if m.logPow == nil {
-		m.logPow = make(map[int]*mathx.Matrix)
-	}
-	if lm, ok := m.logPow[k]; ok {
-		return lm
-	}
-	a := m.powCache.Pow(k)
-	lm := mathx.NewMatrix(a.Rows, a.Cols)
-	for idx, v := range a.Data {
-		if v <= 0 {
-			lm.Data[idx] = mathx.NegInf
-		} else {
-			lm.Data[idx] = math.Log(v)
-		}
-	}
-	m.logPow[k] = lm
-	return lm
+	return path, bestV
 }

@@ -78,9 +78,26 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mathx: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
+	m.MulInto(out, b)
+	return out
+}
+
+// MulInto computes m × b into dst, which must be m.Rows × b.Cols and must
+// not alias m or b. The accumulation order is identical to Mul's, so the
+// in-place variant is bit-identical to the allocating one.
+func (m *Matrix) MulInto(dst, b *Matrix) {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mathx: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mathx: MulInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Rows, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		mrow := m.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for k, mv := range mrow {
 			if mv == 0 {
 				continue
@@ -91,43 +108,64 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MulVec returns m × v as a new vector.
 func (m *Matrix) MulVec(v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	m.MulVecInto(out, v)
+	return out
+}
+
+// MulVecInto computes m × v into dst (length m.Rows), which must not
+// alias v. Same op order as MulVec, so results are bit-identical.
+func (m *Matrix) MulVecInto(dst, v []float64) {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("mathx: dimension mismatch %dx%d × vec(%d)", m.Rows, m.Cols, len(v)))
 	}
-	out := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mathx: MulVecInto dst length %d, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float64
 		for j, rv := range row {
 			s += rv * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // VecMul returns vᵀ × m as a new vector (useful for forward recursions of
 // row-stochastic chains).
 func (m *Matrix) VecMul(v []float64) []float64 {
+	out := make([]float64, m.Cols)
+	m.VecMulInto(out, v)
+	return out
+}
+
+// VecMulInto computes vᵀ × m into dst (length m.Cols), which must not
+// alias v. Same accumulation order as VecMul, so results are
+// bit-identical.
+func (m *Matrix) VecMulInto(dst, v []float64) {
 	if m.Rows != len(v) {
 		panic(fmt.Sprintf("mathx: dimension mismatch vec(%d) × %dx%d", len(v), m.Rows, m.Cols))
 	}
-	out := make([]float64, m.Cols)
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mathx: VecMulInto dst length %d, want %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, vi := range v {
 		if vi == 0 {
 			continue
 		}
 		row := m.Row(i)
 		for j, rv := range row {
-			out[j] += vi * rv
+			dst[j] += vi * rv
 		}
 	}
-	return out
 }
 
 // Pow returns m^k for k ≥ 0 using exponentiation by squaring.
@@ -248,7 +286,24 @@ type PowerCache struct {
 	mu     sync.RWMutex
 	base   *Matrix
 	powers map[int]*Matrix
+	logs   map[int]*Matrix // element-wise log of cached powers
 }
+
+// Retention policy for the sequential power walk. Small gaps — the
+// normal Veritas regime — cache every intermediate exactly as before;
+// past powDenseRetain cached entries the walk only checkpoints every
+// powStride-th power (plus the requested power itself), and past
+// powRetainCap nothing new is retained at all. One pathological query
+// with a huge Δn therefore pins O(powRetainCap) matrices instead of
+// O(Δn). Every cached matrix is still produced by the same sequential
+// left-multiply walk, so which subset is retained can never change a
+// returned value: A^j from any retained anchor is the canonical A^j,
+// and (A^j)·A is exactly the multiplication the full walk would do.
+const (
+	powDenseRetain = 256
+	powStride      = 16
+	powRetainCap   = 1024
+)
 
 // NewPowerCache returns a cache over base. The base matrix is cloned, so
 // later mutation of the argument does not corrupt cached results.
@@ -263,7 +318,8 @@ func NewPowerCache(base *Matrix) *PowerCache {
 	}
 }
 
-// Pow returns base^k, computing and caching intermediate powers.
+// Pow returns base^k, computing — and, within the retention cap,
+// caching — intermediate powers along the sequential walk.
 func (c *PowerCache) Pow(k int) *Matrix {
 	if k < 0 {
 		panic("mathx: PowerCache.Pow requires k >= 0")
@@ -276,24 +332,84 @@ func (c *PowerCache) Pow(k int) *Matrix {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.powLocked(k)
+}
+
+func (c *PowerCache) powLocked(k int) *Matrix {
 	if m, ok := c.powers[k]; ok {
 		return m
 	}
-	// Build from the largest cached power below k; gaps in Veritas are
-	// small integers, so the simple walk is fine and keeps every
-	// intermediate power cached for future queries.
+	// Build from the largest cached power below k. The walk always
+	// left-multiplies the base one step at a time — the same sequence of
+	// float operations whatever the anchor — so results are bit-identical
+	// to an uncached walk from 1.
 	best := 0
 	for p := range c.powers {
 		if p <= k && p > best {
 			best = p
 		}
 	}
-	m = c.powers[best]
+	m := c.powers[best]
 	for p := best; p < k; p++ {
 		m = m.Mul(c.base)
-		c.powers[p+1] = m
+		if c.retain(p+1, k) {
+			c.powers[p+1] = m
+		}
 	}
-	return c.powers[k]
+	return m
+}
+
+// retain decides whether the walk keeps power p on the way to target k.
+func (c *PowerCache) retain(p, k int) bool {
+	if len(c.powers) >= powRetainCap {
+		return false
+	}
+	return p == k || len(c.powers) < powDenseRetain || p%powStride == 0
+}
+
+// PowLog returns the element-wise log of base^k (zero entries mapping to
+// -Inf), memoized alongside the powers. Each element is transformed
+// independently from the canonical A^k, so the result is deterministic
+// however many sessions share the cache.
+func (c *PowerCache) PowLog(k int) *Matrix {
+	if k < 0 {
+		panic("mathx: PowerCache.PowLog requires k >= 0")
+	}
+	c.mu.RLock()
+	lm, ok := c.logs[k]
+	c.mu.RUnlock()
+	if ok {
+		return lm
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lm, ok := c.logs[k]; ok {
+		return lm
+	}
+	a := c.powLocked(k)
+	lm = NewMatrix(a.Rows, a.Cols)
+	for idx, v := range a.Data {
+		if v <= 0 {
+			lm.Data[idx] = NegInf
+		} else {
+			lm.Data[idx] = math.Log(v)
+		}
+	}
+	if c.logs == nil {
+		c.logs = make(map[int]*Matrix)
+	}
+	if len(c.logs) < powRetainCap {
+		c.logs[k] = lm
+	}
+	return lm
+}
+
+// Retained reports how many powers (and log powers) the cache currently
+// pins — the quantity the retention cap bounds.
+func (c *PowerCache) Retained() (powers, logs int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.powers), len(c.logs)
 }
 
 // Base returns a copy of the cached base matrix.
@@ -306,15 +422,55 @@ func (c *PowerCache) Base() *Matrix { return c.base.Clone() }
 // collisions; bounded so adversarial matrix diversity cannot grow it
 // without limit.
 var sharedPowers = struct {
-	mu           sync.Mutex
-	caches       map[uint64]*PowerCache
-	hits, misses uint64
+	mu     sync.Mutex
+	caches map[uint64]*PowerCache
+	stats  SharedPowersStats
 }{caches: make(map[uint64]*PowerCache)}
 
 // sharedPowersCap bounds the registry. Grids in a fleet are few (one
 // per distinct MaxMbps after quantization); past the cap new matrices
 // get private caches and are still counted as misses.
 const sharedPowersCap = 256
+
+// SharedPowersStats breaks SharedPowers lookup traffic down by cause.
+// A "miss" is any lookup that did not find a reusable cache, and the
+// three causes behave very differently: cold misses are the expected
+// one-per-grid warmup, collision misses mean two distinct matrices hash
+// to one fingerprint (the colliding matrix gets a private cache on
+// every lookup), and capacity misses mean the registry is full and the
+// grid diversity exceeds sharedPowersCap (also a private cache per
+// lookup). A telemetry gauge built from the sum alone cannot tell a
+// healthy warmup from a permanently-thrashing fleet.
+type SharedPowersStats struct {
+	Hits uint64
+	// ColdMisses counts first-sight matrices that were inserted into
+	// the registry.
+	ColdMisses uint64
+	// CollisionMisses counts lookups that found a fingerprint match
+	// with a different matrix (FNV-1a collision); such matrices are
+	// never inserted and miss on every lookup.
+	CollisionMisses uint64
+	// CapacityMisses counts lookups rejected because the registry held
+	// sharedPowersCap entries; they also miss on every lookup.
+	CapacityMisses uint64
+}
+
+// Misses returns the total miss count across all three causes — the
+// value the legacy two-counter SharedPowerStats reports.
+func (s SharedPowersStats) Misses() uint64 {
+	return s.ColdMisses + s.CollisionMisses + s.CapacityMisses
+}
+
+// Sub returns s minus t, counter by counter — for computing per-run
+// deltas of the process-wide totals.
+func (s SharedPowersStats) Sub(t SharedPowersStats) SharedPowersStats {
+	return SharedPowersStats{
+		Hits:            s.Hits - t.Hits,
+		ColdMisses:      s.ColdMisses - t.ColdMisses,
+		CollisionMisses: s.CollisionMisses - t.CollisionMisses,
+		CapacityMisses:  s.CapacityMisses - t.CapacityMisses,
+	}
+}
 
 // SharedPowers returns a process-wide PowerCache for base: sessions
 // with bit-identical matrices get the same cache, so transition powers
@@ -325,22 +481,37 @@ func SharedPowers(base *Matrix) *PowerCache {
 	fp := base.Fingerprint()
 	sharedPowers.mu.Lock()
 	defer sharedPowers.mu.Unlock()
-	if c, ok := sharedPowers.caches[fp]; ok && c.base.Equal(base) {
-		sharedPowers.hits++
-		return c
+	existing, collided := sharedPowers.caches[fp]
+	if collided && existing.base.Equal(base) {
+		sharedPowers.stats.Hits++
+		return existing
 	}
-	sharedPowers.misses++
 	c := NewPowerCache(base)
-	if _, collided := sharedPowers.caches[fp]; !collided && len(sharedPowers.caches) < sharedPowersCap {
+	switch {
+	case collided:
+		sharedPowers.stats.CollisionMisses++
+	case len(sharedPowers.caches) >= sharedPowersCap:
+		sharedPowers.stats.CapacityMisses++
+	default:
+		sharedPowers.stats.ColdMisses++
 		sharedPowers.caches[fp] = c
 	}
 	return c
 }
 
 // SharedPowerStats returns the cumulative hit/miss counts of
-// SharedPowers lookups since process start.
+// SharedPowers lookups since process start. The miss count folds cold,
+// collision and capacity misses together; SharedPowersDetail splits
+// them.
 func SharedPowerStats() (hits, misses uint64) {
+	d := SharedPowersDetail()
+	return d.Hits, d.Misses()
+}
+
+// SharedPowersDetail returns the cumulative per-cause lookup counters
+// of the shared power registry since process start.
+func SharedPowersDetail() SharedPowersStats {
 	sharedPowers.mu.Lock()
 	defer sharedPowers.mu.Unlock()
-	return sharedPowers.hits, sharedPowers.misses
+	return sharedPowers.stats
 }

@@ -1,0 +1,104 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+)
+
+// The hot path feeds the estimator raw per-chunk log values, so
+// zero-byte chunks and degenerate TCP states must never escape as NaN
+// or ±Inf into emissions, predictions, or JSON-marshaled store rows.
+
+func TestEstimateThroughputDegenerateInputs(t *testing.T) {
+	fresh := Fresh(0.08)
+	zeroRTT := fresh
+	zeroRTT.MinRTT = 0
+	negRTT := fresh
+	negRTT.MinRTT = -1
+	cases := []struct {
+		name string
+		gtbw float64
+		st   State
+		size float64
+		want float64
+		ok   func(float64) bool
+	}{
+		{name: "zero size", gtbw: 5, st: fresh, size: 0, want: 0},
+		{name: "negative size", gtbw: 5, st: fresh, size: -100, want: 0},
+		{name: "zero gtbw", gtbw: 0, st: fresh, size: 1e6, want: 0},
+		{name: "negative gtbw", gtbw: -2, st: fresh, size: 1e6, want: 0},
+		{name: "zero min rtt is link-limited", gtbw: 5, st: zeroRTT, size: 1e6, want: 5},
+		{name: "negative min rtt is link-limited", gtbw: 5, st: negRTT, size: 1e6, want: 5},
+		{name: "everything zero", gtbw: 0, st: State{}, size: 0, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := EstimateThroughput(tc.gtbw, tc.st, tc.size)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("EstimateThroughput(%v, %+v, %v) = %v, escaped as non-finite",
+					tc.gtbw, tc.st, tc.size, got)
+			}
+			if got != tc.want {
+				t.Errorf("EstimateThroughput(%v, ..., %v) = %v, want %v", tc.gtbw, tc.size, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEstimateDownloadTimeDegenerateInputs(t *testing.T) {
+	fresh := Fresh(0.08)
+	cases := []struct {
+		name    string
+		gtbw    float64
+		st      State
+		size    float64
+		want    float64
+		wantInf bool
+	}{
+		// A zero-byte chunk takes zero time — before the fix this
+		// returned +Inf, which poisons prediction aggregates and fails
+		// encoding/json when predictions are persisted.
+		{name: "zero size", gtbw: 5, st: fresh, size: 0, want: 0},
+		{name: "negative size", gtbw: 5, st: fresh, size: -1, want: 0},
+		{name: "zero size on dead link", gtbw: 0, st: fresh, size: 0, want: 0},
+		// A positive payload over a dead link genuinely never finishes.
+		{name: "positive size on dead link", gtbw: 0, st: fresh, size: 1e6, wantInf: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := EstimateDownloadTime(tc.gtbw, tc.st, tc.size)
+			if math.IsNaN(got) {
+				t.Fatalf("EstimateDownloadTime = NaN")
+			}
+			if tc.wantInf {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("EstimateDownloadTime = %v, want +Inf", got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Errorf("EstimateDownloadTime = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSegmentsDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		bytes float64
+		want  int
+	}{{0, 0}, {-5, 0}, {1, 1}, {MSS, 1}, {MSS + 1, 2}}
+	for _, tc := range cases {
+		if got := Segments(tc.bytes); got != tc.want {
+			t.Errorf("Segments(%v) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestMbpsDegenerateInputs(t *testing.T) {
+	for _, secs := range []float64{0, -1} {
+		if got := Mbps(1e6, secs); got != 0 {
+			t.Errorf("Mbps(1e6, %v) = %v, want 0", secs, got)
+		}
+	}
+}

@@ -144,6 +144,13 @@ func EstimateThroughput(gtbwMbps float64, s State, sizeBytes float64) float64 {
 	if gtbwMbps <= 0 {
 		return 0
 	}
+	if s.MinRTT <= 0 {
+		// Degenerate state (never valid per Validate, but reachable from
+		// raw logs): with no round-trip time the transfer is purely
+		// link-limited. Returning gtbwMbps keeps the estimator finite
+		// instead of dividing size by a zero RTT below.
+		return gtbwMbps
+	}
 	s = ApplySlowStartRestart(s)
 
 	dataSeg := Segments(sizeBytes)
@@ -180,8 +187,14 @@ func EstimateThroughput(gtbwMbps float64, s State, sizeBytes float64) float64 {
 }
 
 // EstimateDownloadTime converts EstimateThroughput into a predicted
-// download duration in seconds for the given chunk size.
+// download duration in seconds for the given chunk size. A zero-byte
+// chunk downloads in zero time (the estimator's zero throughput for it
+// means "no data", not "stalled link"); only a positive payload over a
+// dead link predicts +Inf.
 func EstimateDownloadTime(gtbwMbps float64, s State, sizeBytes float64) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
 	tput := EstimateThroughput(gtbwMbps, s, sizeBytes)
 	if tput <= 0 {
 		return math.Inf(1)
