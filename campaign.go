@@ -31,6 +31,7 @@ import (
 
 	"veritas/internal/engine"
 	"veritas/internal/mathx"
+	"veritas/internal/serve"
 	"veritas/internal/store"
 	"veritas/internal/telemetry"
 	"veritas/internal/tracing"
@@ -134,11 +135,13 @@ type campaignOptions struct {
 	sinks          []FleetSink
 
 	// Persistence and serving.
-	storeDir     string
-	readOnly     bool
-	segmentBytes int64
-	readCache    int
-	resume       bool
+	storeDir      string
+	readOnly      bool
+	watch         bool
+	watchInterval time.Duration
+	segmentBytes  int64
+	readCache     int
+	resume        bool
 
 	// Multi-process dispatch (see Campaign.Dispatch).
 	dispatchBinary      string
@@ -391,6 +394,34 @@ func WithReadOnlyStore() CampaignOption {
 	}
 }
 
+// WithWatch attaches to a store another process is still writing and
+// tails it: the campaign opens the store in watch mode (read-only,
+// tolerant of the directory not existing yet) and every query first
+// picks up rows appended since the last one — so Serve answers
+// /v1/report and the series endpoints live, mid-campaign, without
+// restarts. Run and Resume fail, as with WithReadOnlyStore; unlike it,
+// the corpus a query sees keeps growing. Requires WithStore.
+func WithWatch() CampaignOption {
+	return func(o *campaignOptions) error {
+		o.watch = true
+		o.readOnly = true
+		return nil
+	}
+}
+
+// WithWatchInterval rate-limits the watch-mode tail refresh: at most
+// one store re-check per interval, however many queries arrive (the
+// default 0 re-checks on every query). Only meaningful with WithWatch.
+func WithWatchInterval(d time.Duration) CampaignOption {
+	return func(o *campaignOptions) error {
+		if d < 0 {
+			return fmt.Errorf("veritas: watch interval %v is negative", d)
+		}
+		o.watchInterval = d
+		return nil
+	}
+}
+
 // WithSegmentBytes caps a store segment's size before appends rotate to
 // a fresh file (default store.DefaultSegmentBytes).
 func WithSegmentBytes(n int64) CampaignOption {
@@ -577,8 +608,14 @@ func NewCampaign(opts ...CampaignOption) (*Campaign, error) {
 	if o.resume && o.storeDir == "" {
 		return nil, errors.New("veritas: WithResume needs WithStore: there is nowhere to resume from")
 	}
+	if o.watch && o.storeDir == "" {
+		return nil, errors.New("veritas: WithWatch needs WithStore")
+	}
 	if o.readOnly && o.storeDir == "" {
 		return nil, errors.New("veritas: WithReadOnlyStore needs WithStore")
+	}
+	if o.watchInterval > 0 && !o.watch {
+		return nil, errors.New("veritas: WithWatchInterval needs WithWatch")
 	}
 	if o.armsSet && len(o.abrs) > 0 {
 		return nil, errors.New("veritas: WithArms and WithMatrix are mutually exclusive")
@@ -824,6 +861,17 @@ func (c *Campaign) ensureStoreLocked() (*FleetStore, error) {
 		Telemetry:    c.reg,
 		Tracer:       c.trc,
 	}
+	if c.opt.watch {
+		// Watch mode tails whatever campaign owns the directory;
+		// fingerprint and shard checks are the writer's discipline, not
+		// the tailing reader's (the directory may not even exist yet).
+		st, err := store.OpenWatch(c.opt.storeDir, opt)
+		if err != nil {
+			return nil, err
+		}
+		c.st = st
+		return st, nil
+	}
 	var fps [][]byte
 	if !c.opt.readOnly {
 		fps = c.fingerprints()
@@ -910,6 +958,9 @@ func (c *Campaign) engineConfig() engine.Config {
 func (c *Campaign) prepare(resume bool) ([]FleetSpec, []FleetArm, engine.Config, error) {
 	var zero engine.Config
 	if c.opt.readOnly {
+		if c.opt.watch {
+			return nil, nil, zero, errors.New("veritas: campaign store is in watch mode (drop WithWatch to run)")
+		}
 		return nil, nil, zero, errors.New("veritas: campaign store is read-only (drop WithReadOnlyStore to run)")
 	}
 	corpus, arms, err := c.materialize()
@@ -1190,34 +1241,50 @@ func (c *Campaign) WriteReport(w io.Writer) error {
 	return nil
 }
 
-// Handler returns the HTTP query API over the campaign's store (list
-// sessions and scenarios, fetch per-session what-if results, aggregate
-// reports with generation-keyed ETags), read-cached per WithReadCache.
+// Handler returns the HTTP query API over the campaign's store: list
+// sessions and scenarios, fetch per-session what-if results, and the
+// aggregate report family (/v1/report plus cdf, series, percentiles)
+// served from incremental partial aggregates with generation-keyed
+// ETags, read-cached per WithReadCache. With WithWatch the handler
+// tails the store before answering, throttled by WithWatchInterval.
 func (c *Campaign) Handler() (http.Handler, error) {
 	st, err := c.Store()
 	if err != nil {
 		return nil, err
 	}
-	return store.NewHandler(st, store.ServeOptions{
-		CacheEntries: c.opt.readCache,
-		Telemetry:    c.reg,
-		Tracer:       c.trc,
+	return serve.New(st,
+		serve.WithCacheEntries(c.opt.readCache),
+		serve.WithTelemetry(c.reg),
+		serve.WithTracer(c.trc),
 		// The campaign-merged view (own traces + any dispatched workers'
 		// streamed sets), not just the serve-local tracer's.
-		TraceSource: c.Trace,
-	}), nil
+		serve.WithTraceSource(c.Trace),
+		serve.WithWatchInterval(c.opt.watchInterval),
+	), nil
 }
 
 // Serve serves the campaign's store over HTTP on addr until ctx is
 // cancelled, then drains in-flight requests for up to five seconds.
 // Attach to a store another process is still writing with
-// WithReadOnlyStore.
+// WithReadOnlyStore (a fixed snapshot) or WithWatch (a live tail).
 func (c *Campaign) Serve(ctx context.Context, addr string) error {
 	h, err := c.Handler()
 	if err != nil {
 		return err
 	}
 	return serveHTTP(ctx, addr, h)
+}
+
+// WatchServe serves a live view of a store another process is still
+// writing: the handler tails the store before answering, so /v1/report
+// and friends track the running campaign. It requires WithWatch — the
+// method exists so "am I actually watching?" fails loudly at the call
+// site instead of silently serving a frozen snapshot.
+func (c *Campaign) WatchServe(ctx context.Context, addr string) error {
+	if !c.opt.watch {
+		return errors.New("veritas: WatchServe requires WithWatch")
+	}
+	return c.Serve(ctx, addr)
 }
 
 // Close releases the campaign's store handle, if one was opened. The

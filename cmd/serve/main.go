@@ -14,6 +14,9 @@
 //	                              in-RAM aggregator's report for the corpus),
 //	                              with a store-generation ETag; conditional
 //	                              requests answer 304 Not Modified
+//	GET /v1/report/cdf            one arm/metric/estimator empirical CDF
+//	GET /v1/report/series         the raw per-session value series
+//	GET /v1/report/percentiles    percentile table (?p=50,95,99)
 //	GET /v1/status                store + telemetry snapshot as JSON
 //	GET /metrics                  telemetry in Prometheus text format
 //	GET /v1/trace                 tail-sampled traces as Chrome trace-event
@@ -25,11 +28,18 @@
 // bodies are byte-identical — so the shard → fold → serve pipeline is
 // transparent to clients.
 //
+// With -watch the server tails a store another process is still
+// writing: each request (rate-limited by -watch-interval) picks up
+// newly appended sessions, so /v1/report tracks a running campaign
+// instead of the snapshot taken at open. The store directory may not
+// even exist yet — watch mode serves an empty corpus until it appears.
+//
 // Usage:
 //
 //	serve -store campaign.store                 # serve on :8077
 //	serve -store campaign.store -addr :9000 -cache 1024
 //	serve -store folded.store                   # serve a fleet -fold corpus
+//	serve -store campaign.store -watch          # tail a running campaign
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"veritas"
 	"veritas/internal/cli"
@@ -60,6 +71,8 @@ func main() {
 		logFormat = flag.String("log", "text", "structured log format on stderr: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		quiet     = flag.Bool("quiet", false, "skip the one-line JSON telemetry summary on clean shutdown")
+		watch     = flag.Bool("watch", false, "tail a store another process is still writing")
+		watchIvl  = flag.Duration("watch-interval", 250*time.Millisecond, "with -watch: at most one tail refresh per interval (0 = every request)")
 	)
 	flag.Parse()
 	log, err := cli.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -72,11 +85,16 @@ func main() {
 		fatal(fmt.Errorf("-store is required"))
 	}
 
-	c, err := veritas.NewCampaign(
+	opts := []veritas.CampaignOption{
 		veritas.WithStore(*dir),
-		veritas.WithReadOnlyStore(),
 		veritas.WithReadCache(*cache),
-	)
+	}
+	if *watch {
+		opts = append(opts, veritas.WithWatch(), veritas.WithWatchInterval(*watchIvl))
+	} else {
+		opts = append(opts, veritas.WithReadOnlyStore())
+	}
+	c, err := veritas.NewCampaign(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,11 +106,15 @@ func main() {
 	if rec := st.Recovered(); rec > 0 {
 		logger.Warn("skipped torn tail bytes (campaign crashed mid-append?)", "bytes", rec)
 	}
-	logger.Info("serving store", "sessions", st.Len(), "store", *dir, "addr", *addr)
+	logger.Info("serving store", "sessions", st.Len(), "store", *dir, "addr", *addr, "watch", *watch)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := c.Serve(ctx, *addr); err != nil && err != http.ErrServerClosed {
+	serveFn := c.Serve
+	if *watch {
+		serveFn = c.WatchServe
+	}
+	if err := serveFn(ctx, *addr); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 	// Clean shutdown: flush the one-line JSON telemetry digest (request

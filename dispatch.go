@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"veritas/internal/dispatch"
+	"veritas/internal/serve"
 )
 
 // Dispatch event/result types re-exported for campaign callers.
@@ -339,7 +340,16 @@ func (c *Campaign) Dispatch(ctx context.Context, n int) (*DispatchResult, error)
 		if err != nil {
 			return nil, fmt.Errorf("veritas: dispatch status listener: %w", err)
 		}
-		srv := &http.Server{Handler: tracker.Handler()}
+		// The live query tier rides on the status listener: while the
+		// workers are still appending, /v1/live/report (and cdf, series,
+		// percentiles) serves the combined shard aggregates — the same
+		// numbers the folded store will serve once the dispatch lands.
+		live := serve.NewLive(dir, serve.WithWatchInterval(250*time.Millisecond))
+		defer live.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/", tracker.Handler())
+		mux.Handle("GET /v1/live/", live)
+		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
 	}

@@ -8,17 +8,19 @@ import (
 	"veritas/internal/abduction"
 )
 
-// reportMetrics are the fleet-report rows: label, extractor, and the
-// multiplier applied for display (rebuffering is shown in percent).
+// reportMetrics are the fleet-report rows: query key, label, extractor,
+// and the multiplier applied for display (rebuffering is shown in
+// percent). The key is the spelling the /v1 query surface accepts.
 var reportMetrics = []struct {
+	key   string
 	label string
 	fn    abduction.MetricFn
 	scale float64
 	slack float64 // coverage slack in the metric's native unit
 }{
-	{"SSIM", abduction.MetricSSIM, 1, 0.002},
-	{"rebuf %", abduction.MetricRebufRatio, 100, 0.005},
-	{"bitrate Mbps", abduction.MetricAvgBitrate, 1, 0.1},
+	{"ssim", "SSIM", abduction.MetricSSIM, 1, 0.002},
+	{"rebuf", "rebuf %", abduction.MetricRebufRatio, 100, 0.005},
+	{"bitrate", "bitrate Mbps", abduction.MetricAvgBitrate, 1, 0.1},
 }
 
 var reportEstimators = []ArmEstimator{EstTruth, EstBaseline, EstVeritasLow, EstVeritasHigh}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"veritas/internal/dispatch"
+	"veritas/internal/serve"
 	"veritas/internal/store"
 	"veritas/internal/telemetry"
 	"veritas/internal/tracing"
@@ -116,6 +117,11 @@ type Dispatcher struct {
 	reportMu sync.Mutex
 	reportH  http.Handler
 	folded   *store.Store
+
+	// live serves /v1/live/* over the accepted (and still-uploading)
+	// shard stores while the campaign runs — the incremental view;
+	// /v1/report stays 503 until the fold, as always.
+	live *store.LiveHandler
 }
 
 // New builds a dispatcher: lays out (or adopts) the shard directory,
@@ -142,6 +148,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		start:  time.Now(),
 		dirs:   dirs,
 		agents: make(map[string]*agentInfo),
+		live:   store.NewLiveHandler(cfg.Dir, store.ServeOptions{WatchInterval: 250 * time.Millisecond}),
 	}
 	d.status.SetAgentSource(d.agentRows)
 	// Adopt shard stores a previous fleet run completed: anything that
@@ -311,7 +318,7 @@ func (d *Dispatcher) finish() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		h := store.NewHandler(st, store.ServeOptions{Telemetry: d.cfg.Telemetry, Tracer: d.cfg.Tracer})
+		h := serve.New(st, serve.WithTelemetry(d.cfg.Telemetry), serve.WithTracer(d.cfg.Tracer))
 		d.reportMu.Lock()
 		d.folded, d.reportH = st, h
 		d.reportMu.Unlock()
@@ -320,16 +327,20 @@ func (d *Dispatcher) finish() (*Result, error) {
 	return res, nil
 }
 
-// Close releases the folded store handle, if serving began.
+// Close releases the folded store handle, if serving began, and the
+// live tier's tailed shard stores.
 func (d *Dispatcher) Close() error {
+	liveErr := d.live.Close()
 	d.reportMu.Lock()
 	defer d.reportMu.Unlock()
 	if d.folded != nil {
 		err := d.folded.Close()
 		d.folded, d.reportH = nil, nil
-		return err
+		if err != nil {
+			return err
+		}
 	}
-	return nil
+	return liveErr
 }
 
 // WorkerTraces exposes the status tracker's per-shard streamed trace
@@ -349,6 +360,7 @@ func (d *Dispatcher) WorkerTraces() [][]tracing.Trace {
 //	GET  /metrics       merged fleet registry, per-agent labels
 //	GET  /v1/trace      merged fleet traces (Chrome trace-event JSON)
 //	GET  /healthz       liveness
+//	GET  /v1/live/...   incremental aggregates over the shard stores
 //	GET  /v1/report     503 until the fold; then the folded corpus
 func (d *Dispatcher) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -364,6 +376,10 @@ func (d *Dispatcher) Handler() http.Handler {
 	mux.Handle("GET /v1/status", statusH)
 	mux.Handle("GET /metrics", statusH)
 	mux.Handle("GET /v1/trace", statusH)
+	// The live tier answers while the campaign runs; it never takes
+	// over /v1/report, which stays "the folded corpus or 503" so that
+	// pollers can use it as the completion signal.
+	mux.Handle("GET /v1/live/", d.live)
 	// Everything else — /v1/report, /v1/sessions, /v1/scenarios — is
 	// the folded corpus, available once the fold completed.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

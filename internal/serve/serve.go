@@ -1,0 +1,85 @@
+//lint:file-ignore SA1019 serve.New is the replacement for the deprecated
+// store.NewHandler and is the one place allowed to call through to it.
+
+// Package serve builds the HTTP query tier over a result store with the
+// same options-built construction style as the veritas Campaign facade:
+//
+//	h := serve.New(st,
+//		serve.WithCacheEntries(512),
+//		serve.WithTelemetry(reg),
+//		serve.WithWatchInterval(250*time.Millisecond))
+//
+// It replaces the ad-hoc store.ServeOptions + store.NewHandler pair
+// (both still compile as a deprecated shim, pinned by compat tests);
+// the handler behind both constructors is identical.
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"veritas/internal/store"
+	"veritas/internal/telemetry"
+	"veritas/internal/tracing"
+)
+
+// Option configures a query handler.
+type Option func(*store.ServeOptions)
+
+// WithCacheEntries bounds the in-process read cache of decoded session
+// rows (default 256; negative disables caching).
+func WithCacheEntries(n int) Option {
+	return func(o *store.ServeOptions) { o.CacheEntries = n }
+}
+
+// WithTelemetry routes the handler's request counters — and the
+// /metrics and /v1/status endpoints — through reg, so serving metrics
+// appear alongside whatever else the registry carries.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *store.ServeOptions) { o.Telemetry = reg }
+}
+
+// WithTracer records a tail-sampled trace per served request and feeds
+// GET /v1/trace.
+func WithTracer(trc *tracing.Tracer) Option {
+	return func(o *store.ServeOptions) { o.Tracer = trc }
+}
+
+// WithTraceSource overrides the trace set /v1/trace exports — the
+// Campaign facade uses it to serve the fleet-merged view.
+func WithTraceSource(fn func() []tracing.Trace) Option {
+	return func(o *store.ServeOptions) { o.TraceSource = fn }
+}
+
+// WithWatchInterval rate-limits the tail refresh a handler over a
+// watch-mode store runs before answering: at most one refresh per
+// interval, 0 (the default) meaning every request re-checks. Ignored
+// for ordinary stores.
+func WithWatchInterval(d time.Duration) Option {
+	return func(o *store.ServeOptions) { o.WatchInterval = d }
+}
+
+// New builds the query handler over an open store: the /v1 query
+// surface (sessions, scenarios, the report family), /healthz, /v1/trace
+// and /metrics. See the handler documentation in the store package for
+// the full route table.
+func New(st *store.Store, opts ...Option) http.Handler {
+	var o store.ServeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return store.NewHandler(st, o)
+}
+
+// NewLive builds the live query tier over a still-dispatching
+// campaign's shard directory: /v1/live/report (plus cdf, series,
+// percentiles) and /v1/live/status, combining every shard store's
+// partial aggregates on demand. parent may not exist yet; the handler
+// serves an empty corpus until shards appear.
+func NewLive(parent string, opts ...Option) *store.LiveHandler {
+	var o store.ServeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return store.NewLiveHandler(parent, o)
+}

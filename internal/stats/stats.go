@@ -66,6 +66,23 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Percentiles returns the percentile of xs at every rank in ps (each in
+// [0, 100]), sorting once however many ranks are asked for. Nil for
+// empty xs.
+func Percentiles(xs []float64, ps []float64) []float64 {
+	if len(xs) == 0 || len(ps) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 

@@ -1,0 +1,21 @@
+//lint:file-ignore SA1019 This file deliberately pins the deprecated
+// serve-construction surface so it keeps compiling at its original
+// signature.
+
+package store
+
+// serve.New (veritas/internal/serve) replaced the ServeOptions +
+// NewHandler pair; both must keep compiling unchanged for existing
+// callers until a deliberate removal. This file fails to build if
+// either is renamed or changes shape.
+
+import "net/http"
+
+var _ func(*Store, ServeOptions) http.Handler = NewHandler
+
+var _ = ServeOptions{
+	CacheEntries: 0,
+	Telemetry:    nil,
+	Tracer:       nil,
+	TraceSource:  nil,
+}

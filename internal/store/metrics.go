@@ -19,6 +19,15 @@ type storeMetrics struct {
 	recoveredB  *telemetry.Counter
 	scLoads     *telemetry.Counter
 	scScans     *telemetry.Counter
+
+	// Live query tier: incremental-aggregate and watch-mode health.
+	partialFolds      *telemetry.Counter // rows folded incrementally (append or tail)
+	partialRebuilds   *telemetry.Counter // full partial rebuilds (no usable snapshot)
+	partialSnapLoads  *telemetry.Counter // partials restored from a snapshot file
+	partialSnapWrites *telemetry.Counter // partials snapshot files written
+	watchRefreshes    *telemetry.Counter // watch Refresh passes
+	watchRows         *telemetry.Counter // rows picked up by watch refreshes
+	watchResets       *telemetry.Counter // full watch resets (store shrank or vanished)
 }
 
 func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
@@ -38,5 +47,13 @@ func newStoreMetrics(reg *telemetry.Registry) storeMetrics {
 		recoveredB:  reg.Counter("veritas_store_recovered_bytes_total"),
 		scLoads:     reg.Counter("veritas_store_sidecar_loads_total"),
 		scScans:     reg.Counter("veritas_store_sidecar_scans_total"),
+
+		partialFolds:      reg.Counter("veritas_store_partial_folds_total"),
+		partialRebuilds:   reg.Counter("veritas_store_partial_rebuilds_total"),
+		partialSnapLoads:  reg.Counter("veritas_store_partial_snapshot_loads_total"),
+		partialSnapWrites: reg.Counter("veritas_store_partial_snapshot_writes_total"),
+		watchRefreshes:    reg.Counter("veritas_store_watch_refreshes_total"),
+		watchRows:         reg.Counter("veritas_store_watch_rows_total"),
+		watchResets:       reg.Counter("veritas_store_watch_resets_total"),
 	}
 }

@@ -133,6 +133,19 @@ type Store struct {
 	sidecarScans  int    // segments that needed a full frame scan at Open
 	closed        bool
 	met           storeMetrics
+
+	// Incremental aggregation state (see partials.go). partials is nil
+	// until the first Partials() call installs it; partialsReady closes
+	// when the initial build completes.
+	partials      *engine.Partials
+	partialsReady chan struct{}
+
+	// Watch mode (see watch.go). watchPos tracks the scanned byte
+	// position per segment; watchEpoch bumps on every reset so fold
+	// sequence numbers from before a reset never outrank those after.
+	watch      bool
+	watchPos   map[int]int64
+	watchEpoch uint64
 }
 
 func segName(n int) string { return fmt.Sprintf("%s%05d%s", segPrefix, n, segSuffix) }
@@ -524,6 +537,14 @@ func (s *Store) Append(row engine.SessionRow) (err error) {
 	}
 	s.staged = append(s.staged, e)
 	s.activeEntries = append(s.activeEntries, e)
+	if s.partials != nil {
+		// Fold the appended row into the live partial aggregates. The
+		// sequence number is the frame's location, so a concurrent
+		// initial build re-reading an older record for the same session
+		// can never clobber this newer one.
+		s.partials.FoldRow(row, packSeq(s.watchEpoch, s.activeNum, off))
+		s.met.partialFolds.Inc()
+	}
 	return nil
 }
 
@@ -571,6 +592,12 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
+	}
+	if !s.opt.ReadOnly {
+		// Persist the partial aggregates so the next open (or a watch
+		// reader) restores them instead of re-reducing every row.
+		// Best-effort: the frames are the source of truth.
+		_ = s.savePartialsLocked()
 	}
 	s.closed = true
 	var first error
@@ -782,6 +809,12 @@ func (s *Store) Get(key string) (engine.SessionRow, bool, error) {
 func (s *Store) reader(seg int) (*os.File, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.readerLocked(seg)
+}
+
+// readerLocked is reader for callers already holding mu (the watch
+// refresh tails segments under the store lock).
+func (s *Store) readerLocked(seg int) (*os.File, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -798,11 +831,18 @@ func (s *Store) reader(seg int) (*os.File, error) {
 
 // readRow reads and verifies one frame.
 func (s *Store) readRow(e entry) (engine.SessionRow, error) {
-	var row engine.SessionRow
 	f, err := s.reader(e.seg)
 	if err != nil {
-		return row, err
+		return engine.SessionRow{}, err
 	}
+	return s.readRowFrom(f, e)
+}
+
+// readRowFrom is readRow against an already-resolved segment handle; it
+// takes no locks (ReadAt is position-independent), so it serves both
+// the unlocked scan path and the watch refresh under mu.
+func (s *Store) readRowFrom(f *os.File, e entry) (engine.SessionRow, error) {
+	var row engine.SessionRow
 	s.met.reads.Inc()
 	hdr := make([]byte, frameHdrLen)
 	if _, err := f.ReadAt(hdr, e.off); err != nil {

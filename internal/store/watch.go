@@ -1,0 +1,248 @@
+package store
+
+// Watch mode: tail a store another process is still writing.
+//
+// A read-only Open wants a finished corpus — it scans once, treats a
+// torn tail as recovered loss, and never looks at the directory again.
+// OpenWatch instead keeps per-segment scan positions and re-checks the
+// directory on every Refresh: new bytes in the newest segment are
+// framed and folded in, a freshly sealed segment is picked up through
+// its sidecar without a re-scan, and a brand-new segment starts a new
+// tail. An incomplete frame at a tail is never an error here — it is a
+// write in flight, so the refresh stops before it and the next refresh
+// retries from the same position.
+//
+// The one thing a watcher cannot incrementally survive is the store
+// moving backwards — a segment shrinking or vanishing means the
+// directory was truncated, compacted, or replaced wholesale. Refresh
+// then resets: it drops the index, readers, scan positions, and partial
+// aggregates, bumps the watch epoch (so stale folds lose by sequence
+// number) and the generation (so every ETag built on it changes), and
+// rescans from scratch.
+//
+// Appends, truncation, and locking are all absent: a watch store is
+// ReadOnly, takes no writer lock, and never mutates the directory —
+// exactly what the serving layer needs to sit next to a live campaign.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"veritas/internal/engine"
+	"veritas/internal/telemetry"
+)
+
+// OpenWatch opens dir for tailing: read-only, tolerant of the directory
+// not existing yet (the campaign may not have created it), and
+// refreshable. The initial Refresh runs before OpenWatch returns, so a
+// store that already holds rows serves them immediately.
+func OpenWatch(dir string, opt Options) (*Store, error) {
+	opt.ReadOnly = true
+	if fi, err := os.Stat(dir); err == nil && !fi.IsDir() {
+		return nil, fmt.Errorf("store: %s is not a directory", dir)
+	}
+	s := &Store{
+		dir:      dir,
+		opt:      opt,
+		readers:  make(map[int]*os.File),
+		watch:    true,
+		watchPos: make(map[int]int64),
+		met:      newStoreMetrics(opt.Telemetry),
+	}
+	if _, err := s.Refresh(); err != nil {
+		return nil, err
+	}
+	if reg := opt.Telemetry; reg != nil {
+		reg.RegisterFunc("veritas_store_sessions", telemetry.GaugeFunc, func() float64 { return float64(s.Len()) })
+		reg.RegisterFunc("veritas_store_generation", telemetry.GaugeFunc, func() float64 { return float64(s.Generation()) })
+	}
+	return s, nil
+}
+
+// IsWatch reports whether the store was opened with OpenWatch.
+func (s *Store) IsWatch() bool { return s.watch }
+
+// Refresh re-checks the directory for rows appended since the last
+// refresh (or open), folding them into the index — and into the partial
+// aggregates, when built. It returns the number of rows picked up.
+// Generation moves by exactly one per new row, so ETags keyed on it
+// change iff a refresh found data; a reset also bumps it.
+func (s *Store) Refresh() (added int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.watch {
+		return 0, errors.New("store: Refresh needs a store opened with OpenWatch")
+	}
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.met.watchRefreshes.Inc()
+	nums, err := s.segmentNumbers()
+	if err != nil {
+		return 0, err
+	}
+	present := make(map[int]int64, len(nums)) // segment -> current size
+	for _, n := range nums {
+		fi, err := os.Stat(filepath.Join(s.dir, segName(n)))
+		if err != nil {
+			// Vanished between glob and stat — mid-replacement. Skip this
+			// round; the next refresh sees the settled state.
+			return 0, nil
+		}
+		present[n] = fi.Size()
+	}
+	for n, pos := range s.watchPos {
+		if size, ok := present[n]; !ok || size < pos {
+			s.watchResetLocked()
+			break
+		}
+	}
+	newest := -1
+	if len(nums) > 0 {
+		newest = nums[len(nums)-1]
+	}
+	for _, n := range nums {
+		a, err := s.tailSegmentLocked(n, present[n], n == newest)
+		added += a
+		if err != nil {
+			return added, err
+		}
+	}
+	s.met.watchRows.Add(uint64(added))
+	return added, nil
+}
+
+// watchResetLocked discards everything derived from the directory: the
+// next tail pass rebuilds from scratch. Caller holds mu.
+func (s *Store) watchResetLocked() {
+	s.entries = nil
+	s.staged = nil
+	s.watchPos = make(map[int]int64)
+	for _, f := range s.readers {
+		f.Close()
+	}
+	s.readers = make(map[int]*os.File)
+	// Drop the partials rather than rewinding them; the next Partials()
+	// call rebuilds. The epoch bump makes any in-flight build of the old
+	// state lose every sequence-number race against post-reset folds.
+	s.partials, s.partialsReady = nil, nil
+	s.watchEpoch++
+	s.gen++ // the corpus changed shape: every generation-keyed cache must miss
+	s.met.watchResets.Inc()
+}
+
+// tailSegmentLocked folds segment n's frames from the last scanned
+// position up to size. Caller holds mu.
+func (s *Store) tailSegmentLocked(n int, size int64, newest bool) (added int, err error) {
+	pos := s.watchPos[n]
+	if pos >= size {
+		return 0, nil
+	}
+	if pos == 0 && !newest {
+		// First sight of an already-sealed segment (the writer rotated
+		// past it, or the watcher started on an existing store): its
+		// sidecar replays the frame list without a scan.
+		if entries, ok := s.tryLoadSidecar(n); ok {
+			s.sidecarLoads++
+			s.met.scLoads.Inc()
+			for _, e := range entries {
+				if err := s.ingestWatchEntry(e); err != nil {
+					return added, err
+				}
+				added++
+			}
+			s.watchPos[n] = size
+			return added, nil
+		}
+		s.sidecarScans++
+		s.met.scScans.Inc()
+	}
+	f, err := s.readerLocked(n)
+	if err != nil {
+		return 0, nil // unreadable right now; retry next refresh
+	}
+	if pos == 0 {
+		magic := make([]byte, len(segMagic))
+		if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != segMagic {
+			return 0, nil // header write in flight
+		}
+		pos = int64(len(segMagic))
+		s.watchPos[n] = pos
+	}
+	hdr := make([]byte, frameHdrLen)
+	var buf []byte
+	for pos+frameHdrLen <= size {
+		if _, err := f.ReadAt(hdr, pos); err != nil {
+			break
+		}
+		keyLen, payloadLen, sum, ok := parseFrameHeader(hdr)
+		if !ok {
+			break // torn or in-flight frame: stop here, retry next refresh
+		}
+		fn := int64(keyLen + payloadLen)
+		if pos+frameHdrLen+fn > size {
+			break // frame body still being written
+		}
+		if int64(cap(buf)) < fn {
+			buf = make([]byte, fn)
+		}
+		buf = buf[:fn]
+		if _, err := f.ReadAt(buf, pos+frameHdrLen); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			break
+		}
+		e := entry{key: string(buf[:keyLen]), seg: n, off: pos}
+		e.scenario, e.index = peekRow(buf[keyLen:])
+		if err := s.ingestWatchEntryFromPayload(e, buf[keyLen:]); err != nil {
+			return added, err
+		}
+		added++
+		pos += frameHdrLen + fn
+		s.watchPos[n] = pos
+	}
+	return added, nil
+}
+
+// ingestWatchEntry stages one tailed entry and folds its row into the
+// partials, reading the row back when needed. Caller holds mu.
+func (s *Store) ingestWatchEntry(e entry) error {
+	s.staged = append(s.staged, e)
+	s.gen++
+	if s.partials == nil {
+		return nil
+	}
+	f, err := s.readerLocked(e.seg)
+	if err != nil {
+		return err
+	}
+	row, err := s.readRowFrom(f, e)
+	if err != nil {
+		return err
+	}
+	s.partials.FoldRow(row, packSeq(s.watchEpoch, e.seg, e.off))
+	s.met.partialFolds.Inc()
+	return nil
+}
+
+// ingestWatchEntryFromPayload is ingestWatchEntry when the scan already
+// holds the verified payload bytes. Caller holds mu.
+func (s *Store) ingestWatchEntryFromPayload(e entry, payload []byte) error {
+	s.staged = append(s.staged, e)
+	s.gen++
+	if s.partials == nil {
+		return nil
+	}
+	var row engine.SessionRow
+	if err := json.Unmarshal(payload, &row); err != nil {
+		return err
+	}
+	s.partials.FoldRow(row, packSeq(s.watchEpoch, e.seg, e.off))
+	s.met.partialFolds.Inc()
+	return nil
+}
